@@ -1,0 +1,73 @@
+"""Ablation study: what each ingredient of the construction contributes.
+
+DESIGN.md section 5 documents the engineering choices that close the
+extended abstract's gaps; this bench quantifies them by toggling
+:class:`~repro.core.xtree_embed.EmbedConfig` knobs against the default on
+four adversarial families at r = 7 (n = 4080):
+
+* ``balance_children`` off — SPLIT loses the paper's "4 free places"
+  fine-tuning split; leftovers explode (~20x spills), dilation blows past 3
+  and condition (3') collapses.  This is the single most load-bearing step.
+* ``sideways_balance_moves`` on — re-attaching a child-anchored piece to
+  its sibling plants the one geometry that lands outside N(sigma);
+  condition-(3') defects reappear.
+* ``neighbor_fill`` on — several-fold fewer final spills, but the greedy
+  stealing fights ADJUST's damping and measurably raises worst-case
+  dilation at depth (r >= 9); off by default.
+"""
+
+from __future__ import annotations
+
+from repro.core import condition_3prime_defects
+from repro.core.xtree_embed import EmbedConfig, theorem1_embedding
+from repro.trees import make_tree, theorem1_guest_size
+
+_R = 7
+_FAMILIES = ("path", "caterpillar", "remy", "zigzag")
+
+
+def _sweep(config: EmbedConfig, r: int = _R):
+    worst_dil = 0
+    defects = 0
+    spills = 0
+    for fam in _FAMILIES:
+        tree = make_tree(fam, theorem1_guest_size(r), seed=5)
+        res = theorem1_embedding(tree, config=config)
+        worst_dil = max(worst_dil, res.embedding.dilation())
+        defects += len(condition_3prime_defects(res.embedding))
+        spills += res.stats.final_spill_count
+    return worst_dil, defects, spills
+
+
+def test_full_algorithm(benchmark):
+    dil, defects, _ = benchmark.pedantic(_sweep, args=(EmbedConfig(),), rounds=3, iterations=1)
+    assert dil <= 3
+    assert defects == 0
+
+
+def test_without_balance_children(benchmark):
+    cfg = EmbedConfig(balance_children=False)
+    dil, defects, spills = benchmark.pedantic(_sweep, args=(cfg,), rounds=3, iterations=1)
+    base_dil, base_defects, base_spills = _sweep(EmbedConfig())
+    assert spills > 5 * base_spills
+    assert dil > base_dil
+    assert defects > base_defects
+
+
+def test_with_sideways_balance_moves(benchmark):
+    cfg = EmbedConfig(sideways_balance_moves=True, adjust_sigma_filter=False)
+    dil, defects, spills = benchmark.pedantic(
+        _sweep, args=(cfg,), kwargs={"r": 9}, rounds=1, iterations=1
+    )
+    # the geometry the restriction exists to prevent: (3') defects return
+    assert defects > 0
+    base_dil, base_defects, _ = _sweep(EmbedConfig(), r=9)
+    assert base_defects == 0
+
+
+def test_with_neighbor_fill(benchmark):
+    cfg = EmbedConfig(neighbor_fill=True)
+    dil, defects, spills = benchmark.pedantic(_sweep, args=(cfg,), rounds=3, iterations=1)
+    _, _, base_spills = _sweep(EmbedConfig())
+    # the documented trade: fewer final-phase spills
+    assert spills < base_spills

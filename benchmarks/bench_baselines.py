@@ -1,0 +1,36 @@
+"""E9: baseline embeddings vs Theorem 1 — speed and the quality gap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    order_chunk_embedding,
+    recursive_bisection_embedding,
+    theorem1_embedding,
+)
+from repro.trees import make_tree, theorem1_guest_size
+
+
+def test_bfs_chunk_speed(benchmark, tree_r5_remy):
+    emb = benchmark(order_chunk_embedding, tree_r5_remy)
+    assert emb.load_factor() == 16
+
+
+def test_recursive_bisection_speed(benchmark, tree_r5_remy):
+    emb = benchmark(recursive_bisection_embedding, tree_r5_remy)
+    assert emb.load_factor() <= 16
+
+
+def test_quality_gap_grows(benchmark):
+    """The E9 shape: baseline dilation grows with height, Theorem 1 doesn't."""
+
+    def gap_at(r):
+        tree = make_tree("path", theorem1_guest_size(r), seed=0)
+        return (
+            order_chunk_embedding(tree).dilation()
+            - theorem1_embedding(tree).embedding.dilation()
+        )
+
+    gaps = benchmark(lambda: [gap_at(r) for r in (3, 5)])
+    assert gaps[0] < gaps[1]

@@ -1,0 +1,30 @@
+"""Section 1 context constructions: grid/hypercube Gray coding, bounded-degree hosts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import grid_into_hypercube
+from repro.networks import CubeConnectedCycles, DeBruijn, ShuffleExchange, hamming_distance
+
+
+@pytest.mark.parametrize("side", [16, 32])
+def test_grid_into_hypercube(benchmark, side):
+    grid, cube, phi = benchmark(grid_into_hypercube, side, side)
+    assert all(hamming_distance(phi[u], phi[v]) == 1 for u, v in grid.edges())
+    assert cube.n_nodes == side * side
+
+
+@pytest.mark.parametrize("net_cls,dim", [(ShuffleExchange, 10), (DeBruijn, 10), (CubeConnectedCycles, 7)])
+def test_bounded_degree_diameters(benchmark, net_cls, dim):
+    """Structural sanity at scale for the constant-degree host family."""
+    net = net_cls(dim)
+
+    def probe():
+        first = next(iter(net.nodes()))
+        dist = net.distances_from(first)
+        return max(dist.values()), len(dist)
+
+    ecc, reached = benchmark(probe)
+    assert reached == net.n_nodes  # connected
+    assert ecc <= 3 * dim  # logarithmic-diameter family

@@ -1,0 +1,35 @@
+"""E7 + E8: Figure 1 (X-tree structure) and Figure 2 (N(alpha) bounds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import verify_figure1, verify_figure2
+from repro.networks import XTree
+
+
+@pytest.mark.parametrize("r", [10, 14])
+def test_figure1_structure(benchmark, r):
+    rep = benchmark(verify_figure1, r)
+    assert rep.passed
+
+
+@pytest.mark.parametrize("r", [7, 9])
+def test_figure2_neighborhoods(benchmark, r):
+    rep = benchmark(verify_figure2, r)
+    assert rep.passed
+
+
+def test_xtree_traversal(benchmark):
+    """Raw iteration speed over X(14): nodes + neighbourhood expansion."""
+    x = XTree(14)
+
+    def walk():
+        count = 0
+        for v in x.nodes():
+            for _ in x.neighbors(v):
+                count += 1
+        return count
+
+    edges_twice = benchmark(walk)
+    assert edges_twice == 2 * x.n_edges

@@ -1,0 +1,30 @@
+"""E6: Lemma 3 + inorder embedding — map construction and distance checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import inorder_embedding, verify_inorder, verify_lemma3, xtree_to_hypercube_map
+
+
+@pytest.mark.parametrize("r", [8, 12])
+def test_lemma3_map_construction(benchmark, r):
+    xmap = benchmark(xtree_to_hypercube_map, r)
+    assert len(xmap) == 2 ** (r + 1) - 1
+    assert len(set(xmap.values())) == len(xmap)
+
+
+def test_lemma3_distance_verification(benchmark):
+    rep = benchmark(verify_lemma3, 7, 400)
+    assert rep.passed
+
+
+@pytest.mark.parametrize("r", [8, 12])
+def test_inorder_map_construction(benchmark, r):
+    io = benchmark(inorder_embedding, r)
+    assert len(io) == 2 ** (r + 1) - 1
+
+
+def test_inorder_verification(benchmark):
+    rep = benchmark(verify_inorder, 6)
+    assert rep.passed

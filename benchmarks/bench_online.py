@@ -1,0 +1,32 @@
+"""E13: online (dynamically growing) placement — speed and quality gap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import theorem1_embedding
+from repro.core.online import replay_online
+from repro.trees import make_tree, theorem1_guest_size
+
+
+@pytest.mark.parametrize("r", [5, 7])
+def test_online_replay_speed(benchmark, r):
+    tree = make_tree("random", theorem1_guest_size(r), seed=0)
+    res = benchmark(replay_online, tree, r)
+    assert len(res.embedding.phi) == tree.n
+    assert res.embedding.load_factor() <= 16
+
+
+def test_online_vs_offline_quality(benchmark):
+    """The E13 shape: greedy online dilation grows where offline stays <= 3."""
+    r = 6
+    tree = make_tree("random", theorem1_guest_size(r), seed=0)
+
+    def both():
+        online = replay_online(tree, r).embedding.dilation()
+        offline = theorem1_embedding(tree).embedding.dilation()
+        return online, offline
+
+    online, offline = benchmark(both)
+    assert offline <= 3
+    assert online >= offline

@@ -1,0 +1,21 @@
+"""E11: construction scaling of the Theorem 1 embedding (n up to ~16k)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import theorem1_embedding
+from repro.trees import make_tree, theorem1_guest_size
+
+
+@pytest.mark.parametrize("r", [6, 8, 9])
+def test_scaling_random(benchmark, r):
+    tree = make_tree("random", theorem1_guest_size(r), seed=0)
+    result = benchmark(theorem1_embedding, tree)
+    assert result.embedding.load_factor() == 16
+
+
+def test_scaling_worst_family(benchmark):
+    tree = make_tree("caterpillar", theorem1_guest_size(8), seed=0)
+    result = benchmark(theorem1_embedding, tree)
+    assert result.embedding.load_factor() == 16

@@ -1,0 +1,30 @@
+"""E5: separator lemmas — speed and the 1/3 / 1/9 bounds at scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import lemma1_bound, lemma1_split, lemma2_bound, lemma2_split
+from repro.trees import make_tree
+
+
+@pytest.mark.parametrize("n", [1000, 10000])
+def test_lemma1_speed(benchmark, n):
+    tree = make_tree("remy", n, seed=0)
+    delta = n // 3
+    sep = benchmark(lemma1_split, tree, tree.root, n - 1, delta)
+    assert abs(sep.n2 - delta) <= lemma1_bound(delta)
+
+
+@pytest.mark.parametrize("n", [1000, 10000])
+def test_lemma2_speed(benchmark, n):
+    tree = make_tree("remy", n, seed=0)
+    delta = n // 2
+    sep = benchmark(lemma2_split, tree, tree.root, n - 1, delta)
+    assert abs(sep.n2 - delta) <= lemma2_bound(delta)
+
+
+def test_lemma2_adversarial_path(benchmark):
+    tree = make_tree("path", 20000, seed=0)
+    sep = benchmark(lemma2_split, tree, 0, 19999, 9000)
+    assert abs(sep.n2 - 9000) <= lemma2_bound(9000)

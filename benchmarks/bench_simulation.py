@@ -1,0 +1,43 @@
+"""E10: simulated slowdown of tree programs through embeddings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import theorem1_embedding
+from repro.simulate import (
+    neighbor_exchange_program,
+    prefix_sum_program,
+    reduction_program,
+    simulate_on_host,
+)
+from repro.trees import make_tree, theorem1_guest_size
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tree = make_tree("random", theorem1_guest_size(4), seed=0)
+    emb = theorem1_embedding(tree).embedding
+    return tree, emb
+
+
+def test_reduction_simulation(benchmark, setup):
+    tree, emb = setup
+    prog = reduction_program(tree)
+    stats = benchmark(simulate_on_host, prog, emb)
+    # wave programs stay within dilation plus mild queueing
+    assert stats.slowdown <= 6
+
+
+def test_prefix_sum_simulation(benchmark, setup):
+    tree, emb = setup
+    prog = prefix_sum_program(tree)
+    stats = benchmark(simulate_on_host, prog, emb)
+    assert stats.total_cycles >= prog.ideal_cycles()
+
+
+def test_congested_exchange_simulation(benchmark, setup):
+    tree, emb = setup
+    prog = neighbor_exchange_program(tree, rounds=2)
+    stats = benchmark(simulate_on_host, prog, emb)
+    assert stats.max_link_traffic >= 1

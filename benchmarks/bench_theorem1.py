@@ -1,0 +1,35 @@
+"""E1: Theorem 1 — construction speed and bound checks (table: experiments.py).
+
+``python benchmarks/experiments.py --only E1`` regenerates the full
+paper-vs-measured table; the benchmarks here time the construction on
+representative guests and gate the bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import theorem1_embedding
+from repro.trees import make_tree, theorem1_guest_size
+
+
+@pytest.mark.parametrize("r", [3, 5, 7])
+def test_theorem1_construction_random(benchmark, r):
+    tree = make_tree("random", theorem1_guest_size(r), seed=0)
+    result = benchmark(theorem1_embedding, tree)
+    rep = result.embedding.report()
+    assert rep.dilation <= 3
+    assert rep.load_factor == 16
+
+
+def test_theorem1_construction_adversarial_path(benchmark, tree_r6_path):
+    result = benchmark(theorem1_embedding, tree_r6_path)
+    assert result.embedding.dilation() <= 3
+    assert result.embedding.load_factor() == 16
+
+
+def test_theorem1_dilation_measurement(benchmark, tree_r5_remy):
+    """Cost of *verifying* the dilation (per-edge truncated BFS)."""
+    result = theorem1_embedding(tree_r5_remy)
+    dil = benchmark(result.embedding.dilation)
+    assert dil <= 3

@@ -1,0 +1,23 @@
+"""E2: Theorem 2 — injective expansion into X(r+4), dilation <= 11."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import expand_to_injective, injective_xtree_embedding, theorem1_embedding
+from repro.trees import make_tree, theorem1_guest_size
+
+
+@pytest.mark.parametrize("family", ["random", "path"])
+def test_injective_end_to_end(benchmark, family):
+    tree = make_tree(family, theorem1_guest_size(4), seed=0)
+    emb = benchmark(injective_xtree_embedding, tree)
+    assert emb.is_injective()
+    assert emb.dilation() <= 11
+
+
+def test_expansion_step_alone(benchmark, tree_r5_remy):
+    """The mechanical 4-bit suffix expansion, isolated from Theorem 1."""
+    result = theorem1_embedding(tree_r5_remy)
+    emb = benchmark(expand_to_injective, result)
+    assert emb.is_injective()

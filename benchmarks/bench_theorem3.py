@@ -1,0 +1,23 @@
+"""E3: Theorem 3 — composition into the optimal hypercube, dilation <= 4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import corollary_injective_hypercube, theorem3_embedding
+from repro.trees import make_tree, theorem3_guest_size
+
+
+@pytest.mark.parametrize("r", [4, 6])
+def test_theorem3_composition(benchmark, r):
+    tree = make_tree("random", theorem3_guest_size(r), seed=0)
+    emb = benchmark(theorem3_embedding, tree)
+    assert emb.dilation() <= 4
+    assert emb.load_factor() <= 16
+
+
+def test_corollary_injective_q8(benchmark):
+    tree = make_tree("remy", 2**9 - 16, seed=0)
+    emb = benchmark(corollary_injective_hypercube, tree)
+    assert emb.is_injective()
+    assert emb.dilation() <= 8

@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees import make_tree, theorem1_guest_size
+
+
+@pytest.fixture(scope="session")
+def tree_r4_random():
+    return make_tree("random", theorem1_guest_size(4), seed=0)
+
+
+@pytest.fixture(scope="session")
+def tree_r5_remy():
+    return make_tree("remy", theorem1_guest_size(5), seed=0)
+
+
+@pytest.fixture(scope="session")
+def tree_r6_path():
+    return make_tree("path", theorem1_guest_size(6), seed=0)

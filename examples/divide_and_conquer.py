@@ -1,0 +1,96 @@
+"""Divide-and-conquer on an X-tree machine.
+
+The paper's motivation: "binary trees reflect ... the type of program
+structure found in common divide-and-conquer algorithms".  This example
+simulates such a program — scatter the problem down the tree, combine
+results back up (a parallel merge-style pattern) — on three machines:
+
+1. the guest tree itself (the algorithm's natural machine),
+2. an X-tree hosting the guest via the Theorem 1 embedding,
+3. the same X-tree with a structure-oblivious placement.
+
+The punchline is the paper's: with dilation <= 3 the X-tree simulates the
+tree program with a small constant slowdown, no matter how unbalanced the
+recursion tree is; a naive placement pays an ever-growing factor.
+
+    python examples/divide_and_conquer.py [--height R]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    make_tree,
+    order_chunk_embedding,
+    theorem1_embedding,
+    theorem1_guest_size,
+)
+from repro.analysis import markdown_table
+from repro.simulate import (
+    broadcast_program,
+    prefix_sum_program,
+    reduction_program,
+    simulate_on_guest,
+    simulate_on_host,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--height", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    n = theorem1_guest_size(args.height)
+    # a skewed recursion tree: realistic divide-and-conquer splits are uneven
+    tree = make_tree("random_split", n, seed=args.seed)
+    print(f"recursion tree: random_split, n = {n}, height {tree.height()}\n")
+
+    theorem1 = theorem1_embedding(tree).embedding
+    naive = order_chunk_embedding(tree)
+    print(f"Theorem 1 embedding: dilation {theorem1.dilation()}, "
+          f"congestion {theorem1.edge_congestion()}")
+    print(f"naive chunk embedding: dilation {naive.dilation()}, "
+          f"congestion {naive.edge_congestion()}\n")
+
+    rows = []
+    phases = [
+        ("scatter (broadcast)", broadcast_program(tree)),
+        ("combine (reduction)", reduction_program(tree)),
+        ("full scan (prefix)", prefix_sum_program(tree)),
+    ]
+    for label, prog in phases:
+        guest = simulate_on_guest(prog).total_cycles
+        via_t1 = simulate_on_host(prog, theorem1).total_cycles
+        pipelined = simulate_on_host(prog, theorem1, barrier=False).total_cycles
+        via_naive = simulate_on_host(prog, naive).total_cycles
+        rows.append(
+            [
+                label,
+                prog.n_messages,
+                guest,
+                via_t1,
+                f"{via_t1 / max(guest, 1):.2f}x",
+                pipelined,
+                via_naive,
+                f"{via_naive / max(guest, 1):.2f}x",
+            ]
+        )
+    print(
+        markdown_table(
+            ["phase", "msgs", "tree cycles", "Thm 1 (BSP)", "slowdown",
+             "Thm 1 (pipelined)", "naive (BSP)", "slowdown"],
+            rows,
+        )
+    )
+    print("\nDilation is the whole story: every guest edge spans at most "
+          f"{theorem1.dilation()} host links under Theorem 1, so each wave of the "
+          "recursion costs a small constant number of cycles — and once the "
+          "waves are pipelined (no barriers) the X-tree matches the tree "
+          "machine's own running time, which is exactly the simulation the "
+          "paper's title promises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Gallery: every embedding in the library, side by side.
+
+Sweeps the tree families through all four X-tree placements (Theorem 1,
+injective Theorem 2, recursive bisection, naive chunking) plus the
+hypercube route (Theorem 3), and prints a unified quality table — the
+fastest way to see what the paper's construction buys and what it costs.
+
+    python examples/embedding_gallery.py [--height R]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    injective_xtree_embedding,
+    make_tree,
+    order_chunk_embedding,
+    recursive_bisection_embedding,
+    theorem1_embedding,
+    theorem1_guest_size,
+    theorem3_embedding,
+    theorem3_guest_size,
+)
+from repro.analysis import collect_metrics, dilation_histogram, markdown_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--height", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--families", nargs="*", default=["complete", "path", "caterpillar", "random", "remy"]
+    )
+    args = parser.parse_args()
+
+    n = theorem1_guest_size(args.height)
+    rows = []
+    for fam in args.families:
+        tree = make_tree(fam, n, seed=args.seed)
+        entries = [
+            ("Theorem 1 / X-tree", theorem1_embedding(tree).embedding),
+            ("Theorem 2 / injective", injective_xtree_embedding(tree)),
+            ("recursive bisection", recursive_bisection_embedding(tree)),
+            ("naive bfs-chunk", order_chunk_embedding(tree)),
+        ]
+        for label, emb in entries:
+            m = collect_metrics(label, emb, congestion=False)
+            rows.append(
+                [fam, label, m.dilation, f"{m.mean_edge_dilation:.2f}",
+                 m.load_factor, f"{m.expansion:.2f}", "yes" if m.injective else "no"]
+            )
+    print(f"guests: n = {n} (X({args.height}) hosts)\n")
+    print(
+        markdown_table(
+            ["family", "embedding", "dilation", "mean dil", "load", "expansion", "injective"],
+            rows,
+        )
+    )
+
+    # hypercube route on the matching Theorem 3 size
+    n3 = theorem3_guest_size(args.height + 1)
+    tree = make_tree("random", n3, seed=args.seed)
+    emb = theorem3_embedding(tree)
+    print(f"\nTheorem 3 route (n = {n3} into Q_{args.height + 1}): "
+          f"dilation {emb.dilation()} (paper: 4), load {emb.load_factor()} (16)")
+
+    # one histogram, to show the dilation profile rather than just the max
+    tree = make_tree("remy", n, seed=args.seed)
+    hist = dilation_histogram(theorem1_embedding(tree).embedding)
+    print("\nedge-dilation histogram, Theorem 1 on a uniform (remy) tree:")
+    total = sum(hist.values())
+    for d, c in sorted(hist.items()):
+        bar = "#" * max(1, round(40 * c / total))
+        print(f"  distance {d}: {c:5d} edges {bar}")
+
+
+if __name__ == "__main__":
+    main()

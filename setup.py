@@ -1,0 +1,5 @@
+"""Legacy shim so editable installs work in offline environments where the
+PEP 660 path is unavailable (it needs the `wheel` package)."""
+from setuptools import setup
+
+setup()

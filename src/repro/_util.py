@@ -1,0 +1,66 @@
+"""Small shared helpers used across the :mod:`repro` package.
+
+Nothing here is specific to the paper; these are the kind of utilities a
+production library keeps in one private module so the public modules stay
+focused on the domain.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "as_rng",
+    "check_nonnegative",
+    "check_positive",
+    "is_power_of_two",
+    "pairwise_disjoint",
+]
+
+
+def as_rng(seed: int | random.Random | None) -> random.Random:
+    """Normalise ``seed`` into a :class:`random.Random` instance.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (fresh generator with a fixed default seed so that library
+    behaviour is reproducible unless the caller opts out).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if seed is None:
+        return random.Random(0xA11CE)
+    return random.Random(seed)
+
+
+def check_nonnegative(name: str, value: int) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def check_positive(name: str, value: int) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def pairwise_disjoint(sets: Iterable[Sequence[T] | set[T] | frozenset[T]]) -> bool:
+    """Return True when no element appears in more than one of ``sets``."""
+    seen: set[T] = set()
+    for group in sets:
+        for item in group:
+            if item in seen:
+                return False
+            seen.add(item)
+    return True

@@ -1,0 +1,26 @@
+"""Aggregation, distance engines and table rendering for the experiments."""
+
+from .distances import all_pairs_distances, distance_histogram, eccentricities
+from .metrics import (
+    EmbeddingMetrics,
+    collect_metrics,
+    dilation_histogram,
+    load_histogram,
+)
+from .render import render_dilation_bar, render_loads, render_xtree
+from .tables import format_claim_reports, markdown_table
+
+__all__ = [
+    "all_pairs_distances",
+    "distance_histogram",
+    "eccentricities",
+    "EmbeddingMetrics",
+    "collect_metrics",
+    "dilation_histogram",
+    "load_histogram",
+    "markdown_table",
+    "format_claim_reports",
+    "render_xtree",
+    "render_loads",
+    "render_dilation_bar",
+]

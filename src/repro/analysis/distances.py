@@ -1,0 +1,59 @@
+"""Distance computations over whole topologies, vectorised with numpy.
+
+The verification and benchmark layers need all-pairs or one-to-all
+distances on moderate-size networks; BFS per source into a dense numpy
+matrix is simple and fast enough (the HPC guide's rule: optimise the
+measured bottleneck, which here is Python-level pair loops — replaced by
+matrix lookups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..networks.base import Topology
+
+__all__ = ["all_pairs_distances", "distance_histogram", "eccentricities"]
+
+
+def all_pairs_distances(topology: Topology, dtype=np.int32) -> np.ndarray:
+    """Dense ``n x n`` matrix of hop distances, indexed canonically.
+
+    ``D[i, j]`` is the distance between ``node_at(i)`` and ``node_at(j)``.
+    Memory is ``n**2 * itemsize``; intended for ``n`` up to a few thousand.
+    """
+    n = topology.n_nodes
+    # adjacency as index lists, built once
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for u in topology.nodes():
+        iu = topology.index(u)
+        adj[iu] = [topology.index(v) for v in topology.neighbors(u)]
+    out = np.full((n, n), -1, dtype=dtype)
+    for s in range(n):
+        row = out[s]
+        row[s] = 0
+        frontier = [s]
+        d = 0
+        while frontier:
+            d += 1
+            nxt = []
+            for u in frontier:
+                for v in adj[u]:
+                    if row[v] < 0:
+                        row[v] = d
+                        nxt.append(v)
+            frontier = nxt
+    return out
+
+
+def distance_histogram(distances: np.ndarray) -> dict[int, int]:
+    """Histogram of the upper-triangle distances of an all-pairs matrix."""
+    n = distances.shape[0]
+    iu = np.triu_indices(n, k=1)
+    vals, counts = np.unique(distances[iu], return_counts=True)
+    return {int(v): int(c) for v, c in zip(vals, counts)}
+
+
+def eccentricities(distances: np.ndarray) -> np.ndarray:
+    """Per-node eccentricity (max distance to any other node)."""
+    return distances.max(axis=1)

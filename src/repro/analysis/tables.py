@@ -1,0 +1,37 @@
+"""Markdown table rendering for the benchmark harness and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["markdown_table", "format_claim_reports"]
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table (str() on every cell)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(row: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    lines = [fmt(list(headers)), "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+    lines.extend(fmt(r) for r in cells)
+    return "\n".join(lines)
+
+
+def format_claim_reports(reports) -> str:
+    """Uniform table over :class:`repro.core.verification.ClaimReport`s."""
+    rows = []
+    for rep in reports:
+        rows.append(
+            [
+                "PASS" if rep.passed else "MISS",
+                rep.claim,
+                "; ".join(f"{k}={v}" for k, v in rep.bound.items()),
+                "; ".join(f"{k}={v}" for k, v in rep.measured.items()),
+            ]
+        )
+    return markdown_table(["status", "claim", "paper bound", "measured"], rows)

@@ -1,0 +1,204 @@
+"""Command-line interface: ``xtree-embed``.
+
+Subcommands
+-----------
+``embed``   run the Theorem 1 construction on a generated tree and print the
+            quality report (optionally the full placement).
+``verify``  run every paper-claim verifier at a chosen size and print the
+            paper-vs-measured table.
+``simulate`` run a tree program on the X-tree through the embedding and
+            report cycles and slowdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.tables import format_claim_reports, markdown_table
+from .core.verification import (
+    verify_figure1,
+    verify_figure2,
+    verify_inorder,
+    verify_lemma3,
+    verify_theorem1,
+    verify_theorem2,
+    verify_theorem3,
+    verify_theorem4,
+)
+from .core.xtree_embed import theorem1_embedding
+from .networks.xtree import addr_to_string
+from .simulate import PROGRAMS, simulate_on_guest, simulate_on_host
+from .trees.binary_tree import theorem1_guest_size
+from .trees.generators import FAMILIES, make_tree
+
+__all__ = ["main"]
+
+
+def _add_tree_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--family", choices=sorted(FAMILIES), default="random", help="guest tree family")
+    p.add_argument("--height", type=int, default=4, help="X-tree height r (guest gets 16*(2^(r+1)-1) nodes)")
+    p.add_argument("--seed", type=int, default=0, help="generator seed")
+
+
+def _make_tree(args) -> tuple[int, object]:
+    n = theorem1_guest_size(args.height)
+    return n, make_tree(args.family, n, seed=args.seed)
+
+
+def _cmd_embed(args) -> int:
+    n, tree = _make_tree(args)
+    result = theorem1_embedding(tree, validate=args.validate)
+    rep = result.embedding.report()
+    print(f"guest: {args.family} tree, n={n}; host: X({args.height})")
+    print(rep)
+    extras = {
+        k: v for k, v in result.stats.as_dict().items() if v and k != "max_pieces_per_leaf"
+    }
+    if extras:
+        print(f"fallback stats: {extras}")
+    if args.show_placement:
+        for v in sorted(result.embedding.phi):
+            addr = result.embedding.phi[v]
+            print(f"  {v} -> {addr} ({addr_to_string(addr) or 'eps'})")
+    return 0 if rep.dilation <= 3 and rep.load_factor == 16 else 1
+
+
+def _cmd_verify(args) -> int:
+    n, tree = _make_tree(args)
+    from .core.verification import verify_corollary_q8, verify_imbalance_estimations
+
+    reports = [
+        verify_figure1(args.height),
+        verify_figure2(args.height),
+        verify_theorem1(tree),
+        verify_theorem2(tree),
+        verify_lemma3(args.height),
+        verify_inorder(args.height),
+        verify_imbalance_estimations(tree),
+        verify_corollary_q8(make_tree(args.family, max(16, n // 2), seed=args.seed)),
+    ]
+    from .trees.binary_tree import theorem3_guest_size
+
+    reports.append(verify_theorem3(make_tree(args.family, theorem3_guest_size(args.height), seed=args.seed)))
+    if args.height + 5 >= 5:
+        reports.append(verify_theorem4(args.height + 5, seeds=(args.seed,)))
+    print(format_claim_reports(reports))
+    return 0 if all(r.passed for r in reports) else 1
+
+
+def _cmd_simulate(args) -> int:
+    n, tree = _make_tree(args)
+    result = theorem1_embedding(tree)
+    rows = []
+    names = [args.program] if args.program else sorted(PROGRAMS)
+    for name in names:
+        prog = PROGRAMS[name](tree)
+        guest = simulate_on_guest(prog)
+        host = simulate_on_host(prog, result.embedding, link_capacity=args.link_capacity)
+        rows.append(
+            [
+                name,
+                prog.n_messages,
+                guest.total_cycles,
+                host.total_cycles,
+                f"{host.total_cycles / max(guest.total_cycles, 1):.2f}",
+            ]
+        )
+    print(f"guest: {args.family} tree, n={n}; host: X({args.height}); link capacity {args.link_capacity}")
+    print(markdown_table(["program", "messages", "guest cycles", "host cycles", "slowdown"], rows))
+    return 0
+
+
+def _cmd_online(args) -> int:
+    from .core.online import replay_online
+
+    n, tree = _make_tree(args)
+    res = replay_online(tree, args.height, compare_offline=args.compare)
+    result = theorem1_embedding(tree)
+    rows = [
+        ["offline (Theorem 1)", result.embedding.dilation(), "-"],
+        [
+            "online greedy",
+            res.embedding.dilation(),
+            res.migration_cost if res.migration_cost is not None else "-",
+        ],
+    ]
+    print(f"guest: {args.family} tree, n={n}, grown node-by-node on X({args.height})")
+    print(markdown_table(["strategy", "dilation", "repack migrations"], rows))
+    return 0
+
+
+def _cmd_show(args) -> int:
+    from .analysis.render import render_dilation_bar, render_loads, render_xtree
+    from .networks.xtree import XTree
+
+    if args.empty:
+        print(render_xtree(XTree(args.height)))
+        return 0
+    n, tree = _make_tree(args)
+    result = theorem1_embedding(tree)
+    print(render_xtree(XTree(args.height)))
+    print()
+    print(render_loads(result.embedding))
+    print()
+    print(render_dilation_bar(result.embedding))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .core.serialization import save_embedding
+
+    n, tree = _make_tree(args)
+    result = theorem1_embedding(tree)
+    save_embedding(result.embedding, args.output)
+    rep = result.embedding.report()
+    print(f"wrote {args.output}: {args.family} tree, n={n}, "
+          f"dilation={rep.dilation}, load={rep.load_factor}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="xtree-embed",
+        description="Monien (SPAA 1991): simulating binary trees on X-trees.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_embed = sub.add_parser("embed", help="run the Theorem 1 construction")
+    _add_tree_args(p_embed)
+    p_embed.add_argument("--validate", action="store_true", help="check invariants every round")
+    p_embed.add_argument("--show-placement", action="store_true", help="dump the full mapping")
+    p_embed.set_defaults(func=_cmd_embed)
+
+    p_verify = sub.add_parser("verify", help="check every paper claim")
+    _add_tree_args(p_verify)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_sim = sub.add_parser("simulate", help="run tree programs through the embedding")
+    _add_tree_args(p_sim)
+    p_sim.add_argument("--program", choices=sorted(PROGRAMS), help="single program (default: all)")
+    p_sim.add_argument("--link-capacity", type=int, default=1, help="messages per link direction per cycle")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_online = sub.add_parser("online", help="grow the tree node-by-node (tree machine)")
+    _add_tree_args(p_online)
+    p_online.add_argument("--compare", action="store_true", help="also compute repack cost")
+    p_online.set_defaults(func=_cmd_online)
+
+    p_show = sub.add_parser("show", help="render the X-tree and an embedding's loads")
+    _add_tree_args(p_show)
+    p_show.add_argument("--empty", action="store_true", help="draw the bare X-tree only")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_export = sub.add_parser("export", help="write the placement to a JSON file")
+    _add_tree_args(p_export)
+    p_export.add_argument("--output", "-o", required=True, help="output JSON path")
+    p_export.set_defaults(func=_cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Section 1 context: the classical embeddings the paper builds on.
+
+The introduction situates the result among known facts: *"the popularity of
+the hypercube network is based also on the fact that it can simulate common
+program structures like grids or trees in a very efficient way"*, and the
+BCHLR'88 results that grids and X-trees are exactly what CCC/butterfly
+networks cannot host cheaply.  This module implements the positive side so
+the benchmark suite can show it next to Theorem 1:
+
+* :func:`gray_code` / :func:`grid_into_hypercube` — the classical dilation-1
+  embedding of a ``2^a x 2^b`` grid into its optimal hypercube via reflected
+  Gray codes (general sides round up per dimension, dilation still 1);
+* :func:`complete_tree_into_xtree` — B_r is a subgraph of X(r) (dilation 1),
+  the trivial easy case that contrasts with arbitrary trees.
+"""
+
+from __future__ import annotations
+
+from ..networks.grid import Grid2D
+from ..networks.hypercube import Hypercube
+from ..networks.xtree import XTree, xtree_size
+from ..trees.binary_tree import BinaryTree
+
+__all__ = ["gray_code", "gray_rank", "grid_into_hypercube", "complete_tree_into_xtree"]
+
+
+def gray_code(i: int) -> int:
+    """The i-th binary reflected Gray code: consecutive values differ in
+    exactly one bit."""
+    if i < 0:
+        raise ValueError(f"index must be non-negative, got {i}")
+    return i ^ (i >> 1)
+
+
+def gray_rank(g: int) -> int:
+    """Inverse of :func:`gray_code`."""
+    i = 0
+    while g:
+        i ^= g
+        g >>= 1
+    return i
+
+
+def grid_into_hypercube(rows: int, cols: int) -> tuple[Grid2D, Hypercube, dict]:
+    """Embed an ``rows x cols`` grid into its optimal hypercube, dilation 1.
+
+    Each coordinate is Gray-coded into ``ceil(log2(side))`` bits; grid
+    neighbours differ by one in one coordinate, hence in exactly one bit of
+    the concatenated label — every grid edge maps onto a hypercube edge.
+
+    Returns ``(grid, hypercube, phi)`` with ``phi`` injective.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid sides must be positive")
+    bits_r = max(1, (rows - 1).bit_length()) if rows > 1 else 0
+    bits_c = max(1, (cols - 1).bit_length()) if cols > 1 else 0
+    grid = Grid2D(rows, cols)
+    cube = Hypercube(bits_r + bits_c)
+    phi = {
+        (r, c): (gray_code(r) << bits_c) | gray_code(c)
+        for r in range(rows)
+        for c in range(cols)
+    }
+    return grid, cube, phi
+
+
+def complete_tree_into_xtree(r: int) -> tuple[BinaryTree, XTree, dict]:
+    """B_r as a subgraph of X(r): the identity on addresses, dilation 1.
+
+    The easy case that was already known (BCHLR'88 embed complete trees into
+    constant-degree hypercubic networks); the paper's whole point is that
+    X-trees extend this to *arbitrary* binary trees.
+    """
+    n = xtree_size(r)
+    guest = BinaryTree([-1] + [(v - 1) // 2 for v in range(1, n)])
+    xtree = XTree(r)
+    phi = {v: xtree.node_at(v) for v in range(n)}
+    return guest, xtree, phi

@@ -1,0 +1,202 @@
+"""Embeddings of a guest binary tree into a host topology, plus quality metrics.
+
+An *embedding* maps each guest node to a host node.  The paper's three cost
+measures (section 1):
+
+dilation
+    maximum host distance between the images of guest-adjacent nodes — the
+    number of clock cycles needed to communicate between formerly adjacent
+    processors;
+load factor
+    maximum number of guest nodes mapped to one host node — the computation
+    each host processor must multiplex;
+expansion
+    ``host size / guest size`` — how much bigger the host must be.
+
+We add *edge congestion* (given shortest-path routing, the maximum number of
+guest edges whose routes share one host link), which the simulator in
+:mod:`repro.simulate` makes operational.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from ..networks.base import Topology, bfs_distances_from
+from ..trees.binary_tree import BinaryTree
+
+__all__ = ["Embedding", "EmbeddingReport"]
+
+
+@dataclass(frozen=True)
+class EmbeddingReport:
+    """Summary of every quality measure of one embedding."""
+
+    n_guest: int
+    n_host: int
+    dilation: int
+    load_factor: int
+    expansion: float
+    injective: bool
+    edge_dilation_histogram: dict[int, int]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        hist = ", ".join(f"{d}:{c}" for d, c in sorted(self.edge_dilation_histogram.items()))
+        return (
+            f"guest={self.n_guest} host={self.n_host} dilation={self.dilation} "
+            f"load={self.load_factor} expansion={self.expansion:.3f} "
+            f"injective={self.injective} edge-dilations=[{hist}]"
+        )
+
+
+class Embedding:
+    """A total mapping from the nodes of ``guest`` into the nodes of ``host``."""
+
+    def __init__(self, guest: BinaryTree, host: Topology, phi: Mapping[int, Any]):
+        missing = [v for v in guest.nodes() if v not in phi]
+        if missing:
+            raise ValueError(f"embedding is not total; first missing guest node: {missing[0]}")
+        for v in guest.nodes():
+            if not host.has_node(phi[v]):
+                raise ValueError(f"guest node {v} maps to {phi[v]!r}, not a host vertex")
+        self.guest = guest
+        self.host = host
+        self.phi = {v: phi[v] for v in guest.nodes()}
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __getitem__(self, guest_node: int):
+        return self.phi[guest_node]
+
+    def loads(self) -> Counter:
+        """Host node -> number of guest nodes mapped there."""
+        return Counter(self.phi.values())
+
+    def load_factor(self) -> int:
+        """Maximum load over host nodes."""
+        return max(self.loads().values())
+
+    def expansion(self) -> float:
+        """Host size divided by guest size."""
+        return self.host.n_nodes / self.guest.n
+
+    def is_injective(self) -> bool:
+        """True when no two guest nodes share a host node."""
+        return self.load_factor() == 1
+
+    # ------------------------------------------------------------------
+    # Dilation
+    # ------------------------------------------------------------------
+    def edge_dilations(self) -> dict[tuple[int, int], int]:
+        """Host distance of every guest edge's image.
+
+        Distinct guest edges often map to the same host pair, so distances
+        are computed once per distinct pair.  Distances start with a small
+        cutoff that doubles on demand: dilation is tiny for the paper's
+        embeddings, so most queries resolve within a 3-ball.
+        """
+        pair_edges: dict[tuple[Any, Any], list[tuple[int, int]]] = {}
+        for u, v in self.guest.edges():
+            a, b = self.phi[u], self.phi[v]
+            if self.host.index(a) > self.host.index(b):
+                a, b = b, a
+            pair_edges.setdefault((a, b), []).append((u, v))
+        out: dict[tuple[int, int], int] = {}
+        for (a, b), edges in pair_edges.items():
+            d = self._distance(a, b)
+            for e in edges:
+                out[e] = d
+        return out
+
+    def _distance(self, a: Any, b: Any) -> int:
+        cutoff = 4
+        while True:
+            d = self.host.distance(a, b, cutoff=cutoff)
+            if d is not None:
+                return d
+            cutoff *= 2
+            if cutoff > 4 * self.host.n_nodes:  # disconnected host: bug
+                raise RuntimeError(f"no path between host nodes {a!r} and {b!r}")
+
+    def dilation(self) -> int:
+        """Maximum edge dilation (0 for a single-node guest)."""
+        dil = self.edge_dilations()
+        return max(dil.values(), default=0)
+
+    def max_dilation_edge(self) -> tuple[tuple[int, int], int] | None:
+        """The guest edge realising the dilation, for diagnostics."""
+        dil = self.edge_dilations()
+        if not dil:
+            return None
+        edge = max(dil, key=dil.get)  # type: ignore[arg-type]
+        return edge, dil[edge]
+
+    # ------------------------------------------------------------------
+    # Congestion (shortest-path routing)
+    # ------------------------------------------------------------------
+    def edge_congestion(self) -> int:
+        """Max, over host links, of guest edges routed through that link.
+
+        Routes are deterministic shortest paths (lexicographically smallest
+        next hop by host index), matching the simulator's router so that the
+        metric predicts simulated contention.
+        """
+        link_use: Counter = Counter()
+        cache: dict[Any, dict[Any, Any]] = {}
+        for u, v in self.guest.edges():
+            a, b = self.phi[u], self.phi[v]
+            for x, y in self._route(a, b, cache):
+                key = (x, y) if self.host.index(x) < self.host.index(y) else (y, x)
+                link_use[key] += 1
+        return max(link_use.values(), default=0)
+
+    def _route(self, a: Any, b: Any, cache: dict) -> list[tuple[Any, Any]]:
+        """Deterministic shortest path from ``a`` to ``b`` as a link list."""
+        if a == b:
+            return []
+        if b not in cache:
+            cache[b] = bfs_distances_from(self.host.neighbors, b)
+        dist_to_b = cache[b]
+        links = []
+        cur = a
+        while cur != b:
+            nxt = min(
+                (w for w in self.host.neighbors(cur) if dist_to_b[w] == dist_to_b[cur] - 1),
+                key=self.host.index,
+            )
+            links.append((cur, nxt))
+            cur = nxt
+        return links
+
+    # ------------------------------------------------------------------
+    # Composition & reporting
+    # ------------------------------------------------------------------
+    def compose(self, outer_phi: Mapping[Any, Any], outer_host: Topology) -> Embedding:
+        """Compose with a host-to-host mapping: guest -> host -> outer host.
+
+        This is how Theorem 3 arises: the Theorem 1 embedding into X(r)
+        composed with Lemma 3's X(r) -> Q_{r+1} map.
+        """
+        phi = {v: outer_phi[self.phi[v]] for v in self.guest.nodes()}
+        return Embedding(self.guest, outer_host, phi)
+
+    def report(self) -> EmbeddingReport:
+        """Compute every quality measure at once."""
+        dil = self.edge_dilations()
+        hist = Counter(dil.values())
+        return EmbeddingReport(
+            n_guest=self.guest.n,
+            n_host=self.host.n_nodes,
+            dilation=max(dil.values(), default=0),
+            load_factor=self.load_factor(),
+            expansion=self.expansion(),
+            injective=self.load_factor() == 1,
+            edge_dilation_histogram=dict(sorted(hist.items())),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Embedding(guest_n={self.guest.n}, host={self.host!r})"

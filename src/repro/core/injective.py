@@ -1,0 +1,51 @@
+"""Theorem 2: injective embedding into X(r+4) with dilation 11.
+
+The transformation (section 3) is purely mechanical: the Theorem 1
+embedding ``delta`` puts exactly 16 guests on every vertex ``alpha`` of
+X(r); give the 16 cohabitants the 16 distinct 4-bit address extensions
+``mu`` and map each to ``alpha . mu`` — a vertex four levels deeper in
+X(r+4).  Guests that were host-adjacent within distance 3 are now within
+
+    4 (climb from alpha.mu to alpha) + 3 (old path) + 4 (descend) = 11.
+
+The measured dilation is usually far below 11 because X(r+4)'s cross edges
+provide shortcuts the proof does not use; the benchmark records both.
+"""
+
+from __future__ import annotations
+
+from ..networks.xtree import XAddr, XTree
+from ..trees.binary_tree import BinaryTree
+from .embedding import Embedding
+from .xtree_embed import XTreeEmbeddingResult, theorem1_embedding
+
+__all__ = ["injective_xtree_embedding", "expand_to_injective"]
+
+#: extension depth: 2**4 = 16 distinct suffixes, one per slot
+_EXT = 4
+
+
+def expand_to_injective(result: XTreeEmbeddingResult) -> Embedding:
+    """Expand a load-16 X(r) embedding into an injective X(r+4) embedding."""
+    base = result.embedding
+    xtree_big = XTree(base.host.height + _EXT)  # type: ignore[attr-defined]
+    # per-vertex slot counter assigns the 4-bit extensions
+    counter: dict[XAddr, int] = {}
+    phi: dict[int, XAddr] = {}
+    for v in base.guest.nodes():
+        level, idx = base.phi[v]
+        mu = counter.get((level, idx), 0)
+        if mu >= 1 << _EXT:
+            raise ValueError("load factor exceeds 16; not a Theorem 1 embedding")
+        counter[(level, idx)] = mu + 1
+        phi[v] = (level + _EXT, (idx << _EXT) | mu)
+    return Embedding(base.guest, xtree_big, phi)
+
+
+def injective_xtree_embedding(tree: BinaryTree, *, validate: bool = False) -> Embedding:
+    """Theorem 2 end-to-end: requires ``n = 16 * (2**(r+1) - 1)``.
+
+    Returns an injective embedding of ``tree`` into X(r+4); the theorem
+    bounds its dilation by 11.
+    """
+    return expand_to_injective(theorem1_embedding(tree, validate=validate))

@@ -1,0 +1,288 @@
+"""Layout state for the Theorem 1 construction: placements, slots, pieces.
+
+The iterative embedding maintains, between rounds:
+
+* a partial placement ``delta_i`` of guest nodes onto X-tree vertices, with
+  at most (finally: exactly) 16 guests per vertex — the *load factor*;
+* the unplaced remainder as a set of **pieces**: connected guest subtrees
+  whose already-placed neighbours all sit on a single X-tree vertex, the
+  piece's *characteristic address* ``sigma`` (paper: condition (6));
+* an *attachment* of every piece to a leaf of the current X-tree (paper:
+  the mapping ``p_i``), which is where the piece's nodes will eventually be
+  laid out below;
+* per-vertex subtree weights ``|A_i(alpha)|`` — placed plus attached nodes
+  associated below ``alpha`` — the quantity ADJUST/SPLIT balance.
+
+Pieces expose their *designated nodes* (unplaced nodes adjacent to placed
+ones); the collinearity invariant of the separator lemmas keeps these at
+most two per piece, which is what lets the lemmas be re-applied round after
+round.
+
+This module is pure bookkeeping; the round logic lives in
+:mod:`repro.core.xtree_embed`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..networks.xtree import XAddr, XTree
+from ..trees.binary_tree import BinaryTree
+
+__all__ = ["Piece", "LayoutState", "LayoutStats"]
+
+
+@dataclass(frozen=True)
+class Piece:
+    """A connected unplaced subtree attached to an X-tree leaf.
+
+    ``sigma`` is the characteristic address: the X-tree vertex holding every
+    placed neighbour of the piece.  ``designated`` are the piece's nodes
+    adjacent to placed nodes (at most two when collinearity holds).
+    """
+
+    nodes: frozenset[int]
+    sigma: XAddr
+    leaf: XAddr
+    designated: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def moved_to(self, leaf: XAddr) -> Piece:
+        """The same piece attached to a different leaf."""
+        return Piece(self.nodes, self.sigma, leaf, self.designated)
+
+
+@dataclass
+class LayoutStats:
+    """Counters for the defensive paths of the construction.
+
+    All zeros on a run means the execution stayed entirely inside the
+    paper's nominal invariants; non-zero entries quantify how often the
+    engineering fallbacks (documented in DESIGN.md section 5) fired.
+    """
+
+    sigma_conflicts: int = 0
+    overflow_placements: int = 0
+    separator_promotions: int = 0
+    underfull_after_round: int = 0
+    final_spill_distance: int = 0
+    final_spill_count: int = 0
+    #: peak number of pieces attached to one leaf — the paper's section 2
+    #: bounds the intervals per vertex by 16 (28 transiently inside SPLIT);
+    #: tracked to compare our trajectory against that accounting
+    max_pieces_per_leaf: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+class LayoutState:
+    """Mutable state of the iterative partial embedding."""
+
+    def __init__(self, tree: BinaryTree, xtree: XTree, capacity: int = 16):
+        self.tree = tree
+        self.xtree = xtree
+        self.capacity = capacity
+        self.place: dict[int, XAddr] = {}
+        self.slots: dict[XAddr, list[int]] = {}
+        self.weight: dict[XAddr, int] = {}
+        #: pieces indexed by attachment leaf
+        self.pieces_at: dict[XAddr, list[Piece]] = {}
+        self.stats = LayoutStats()
+
+    # ------------------------------------------------------------------
+    # Low-level mutation
+    # ------------------------------------------------------------------
+    def _bump_weight(self, addr: XAddr, amount: int) -> None:
+        level, idx = addr
+        while True:
+            key = (level, idx)
+            self.weight[key] = self.weight.get(key, 0) + amount
+            if level == 0:
+                break
+            level, idx = level - 1, idx >> 1
+
+    def load(self, addr: XAddr) -> int:
+        """Current number of guests placed at ``addr``."""
+        return len(self.slots.get(addr, ()))
+
+    def free(self, addr: XAddr) -> int:
+        """Remaining slot capacity at ``addr``."""
+        return self.capacity - self.load(addr)
+
+    def place_node(self, v: int, addr: XAddr) -> None:
+        """Place one guest node; capacity and double-placement checked."""
+        if v in self.place:
+            raise RuntimeError(f"guest node {v} placed twice")
+        bucket = self.slots.setdefault(addr, [])
+        if len(bucket) >= self.capacity:
+            raise RuntimeError(f"capacity exceeded at {addr}")
+        bucket.append(v)
+        self.place[v] = addr
+        self._bump_weight(addr, 1)
+
+    def attach(self, piece: Piece) -> None:
+        """Attach a piece to its leaf, updating subtree weights."""
+        bucket = self.pieces_at.setdefault(piece.leaf, [])
+        bucket.append(piece)
+        if len(bucket) > self.stats.max_pieces_per_leaf:
+            self.stats.max_pieces_per_leaf = len(bucket)
+        self._bump_weight(piece.leaf, piece.size)
+
+    def detach(self, piece: Piece) -> None:
+        """Remove a piece from the attachment index."""
+        self.pieces_at[piece.leaf].remove(piece)
+        self._bump_weight(piece.leaf, -piece.size)
+
+    def pop_pieces(self, leaf: XAddr) -> list[Piece]:
+        """Detach and return every piece attached at ``leaf``."""
+        out = list(self.pieces_at.get(leaf, ()))
+        for p in out:
+            self.detach(p)
+        return out
+
+    # ------------------------------------------------------------------
+    # Piece construction
+    # ------------------------------------------------------------------
+    def make_pieces(self, nodes: frozenset[int], leaf: XAddr) -> list[Piece]:
+        """Split ``nodes`` into connected components and wrap them as pieces.
+
+        Each component's ``sigma`` is the placement address of its placed
+        neighbours.  If (defensively) a component sees placed neighbours at
+        several addresses — the theory says it cannot — the majority address
+        wins and the event is counted in ``stats.sigma_conflicts``.
+        """
+        out: list[Piece] = []
+        seen: set[int] = set()
+        for start in nodes:
+            if start in seen:
+                continue
+            comp: list[int] = []
+            desig: list[int] = []
+            sigmas: list[XAddr] = []
+            stack = [start]
+            seen.add(start)
+            while stack:
+                v = stack.pop()
+                comp.append(v)
+                is_designated = False
+                for u in self.tree.neighbors(v):
+                    if u in nodes:
+                        if u not in seen:
+                            seen.add(u)
+                            stack.append(u)
+                    elif u in self.place:
+                        is_designated = True
+                        sigmas.append(self.place[u])
+                if is_designated:
+                    desig.append(v)
+            if not sigmas:
+                raise RuntimeError("piece with no placed neighbour; tree disconnected?")
+            uniq = set(sigmas)
+            if len(uniq) > 1:
+                self.stats.sigma_conflicts += 1
+                sigma = max(uniq, key=sigmas.count)
+            else:
+                sigma = sigmas[0]
+            out.append(Piece(frozenset(comp), sigma, leaf, tuple(sorted(desig))))
+        return out
+
+    # ------------------------------------------------------------------
+    # Peeling: batch placement of a connected blob of a piece
+    # ------------------------------------------------------------------
+    def peel(self, piece: Piece, k: int, addr: XAddr) -> list[Piece]:
+        """Place up to ``k`` nodes of (detached) ``piece`` at ``addr``.
+
+        Takes a BFS-connected blob grown from the designated nodes so every
+        placed node has a placed neighbour (zero intra-blob dilation), then
+        rewraps the remainder into pieces attached at ``addr``.
+
+        The blob always contains *all* designated nodes — otherwise a
+        residual component could be adjacent to placed nodes both at the old
+        ``sigma`` and at ``addr``, breaking the single-characteristic-address
+        invariant.  If the slot cannot even hold the designated nodes the
+        peel is refused and the piece is re-attached unchanged.
+
+        Returns the residual pieces (already attached).  ``piece`` must have
+        been detached by the caller.
+        """
+        k = min(k, piece.size, self.free(addr))
+        if k < min(len(piece.designated), piece.size):
+            self.attach(piece)
+            return [piece]
+        if k <= 0:
+            self.attach(piece)
+            return [piece]
+        blob: list[int] = []
+        seen = set(piece.designated)
+        queue = deque(piece.designated)
+        while queue and len(blob) < k:
+            v = queue.popleft()
+            blob.append(v)
+            for u in self.tree.neighbors(v):
+                if u in piece.nodes and u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+        for v in blob:
+            self.place_node(v, addr)
+        rest = piece.nodes - frozenset(blob)
+        if not rest:
+            return []
+        residuals = self.make_pieces(rest, addr)
+        for p in residuals:
+            self.attach(p)
+        return residuals
+
+    # ------------------------------------------------------------------
+    # Inspection / invariants
+    # ------------------------------------------------------------------
+    def all_pieces(self) -> list[Piece]:
+        return [p for plist in self.pieces_at.values() for p in plist]
+
+    def n_unplaced(self) -> int:
+        return sum(p.size for p in self.all_pieces())
+
+    def validate(self, round_i: int | None = None) -> None:
+        """Check the structural invariants; raises on violation.
+
+        Intended for tests and debug runs — O(n) per call.
+        """
+        # disjointness and totality
+        placed = set(self.place)
+        unplaced: set[int] = set()
+        for p in self.all_pieces():
+            if p.nodes & unplaced:
+                raise AssertionError("pieces overlap")
+            unplaced |= p.nodes
+        if placed & unplaced:
+            raise AssertionError("placed node also in a piece")
+        if len(placed) + len(unplaced) != self.tree.n:
+            raise AssertionError("nodes lost: placed+unplaced != n")
+        # slots consistent with placement
+        for addr, bucket in self.slots.items():
+            if len(bucket) > self.capacity:
+                raise AssertionError(f"overfull slot {addr}")
+            for v in bucket:
+                if self.place[v] != addr:
+                    raise AssertionError("slots/place mismatch")
+        # weights
+        for addr, w in self.weight.items():
+            recomputed = sum(
+                1 for v, a in self.place.items() if self._under(a, addr)
+            ) + sum(p.size for p in self.all_pieces() if self._under(p.leaf, addr))
+            if recomputed != w:
+                raise AssertionError(f"weight drift at {addr}: {w} != {recomputed}")
+        # piece invariants
+        for p in self.all_pieces():
+            if len(p.designated) > 2:
+                raise AssertionError(f"piece with {len(p.designated)} designated nodes")
+
+    @staticmethod
+    def _under(addr: XAddr, anc: XAddr) -> bool:
+        """True when ``addr`` lies in the subtree rooted at ``anc``."""
+        (la, ia), (lb, ib) = addr, anc
+        return la >= lb and (ia >> (la - lb)) == ib

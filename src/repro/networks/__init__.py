@@ -1,0 +1,43 @@
+"""Host network topologies.
+
+The star of the show is :class:`~repro.networks.xtree.XTree` (the paper's
+host).  The others either appear in the paper's derived results (hypercube)
+or reproduce the introduction's context (complete binary tree, grid,
+cube-connected cycles, butterfly).
+"""
+
+from .base import Topology, bfs_distance, bfs_distances_from
+from .binary_tree_net import CompleteBinaryTreeNet
+from .butterfly import Butterfly
+from .ccc import CubeConnectedCycles
+from .grid import Grid2D
+from .hypercube import Hypercube, hamming_distance
+from .shuffle import DeBruijn, ShuffleExchange
+from .xtree import (
+    XAddr,
+    XTree,
+    addr_from_string,
+    addr_to_string,
+    xtree_optimal_height,
+    xtree_size,
+)
+
+__all__ = [
+    "Topology",
+    "bfs_distance",
+    "bfs_distances_from",
+    "XAddr",
+    "XTree",
+    "addr_from_string",
+    "addr_to_string",
+    "xtree_size",
+    "xtree_optimal_height",
+    "Hypercube",
+    "hamming_distance",
+    "CompleteBinaryTreeNet",
+    "CubeConnectedCycles",
+    "Butterfly",
+    "Grid2D",
+    "ShuffleExchange",
+    "DeBruijn",
+]

@@ -1,0 +1,72 @@
+"""The (unwrapped) butterfly network BF(d).
+
+Nodes are pairs ``(level, w)`` with ``0 <= level <= d`` and ``w`` a ``d``-bit
+row label.  Node ``(l, w)`` with ``l < d`` is adjacent to ``(l+1, w)``
+(straight edge) and ``(l+1, w ^ (1 << l))`` (cross edge).  Interior vertices
+have degree 4; boundary levels degree 2.
+
+Like :mod:`repro.networks.ccc` this exists to reproduce the section 1
+context: butterfly networks share the hypercube's topological properties but
+*cannot* host X-trees (and hence arbitrary binary trees via Theorem 1's
+route) with constant dilation and expansion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .base import Topology
+
+__all__ = ["Butterfly"]
+
+BFNode = tuple[int, int]
+
+
+class Butterfly(Topology):
+    """The unwrapped butterfly of dimension ``d`` (``(d+1) * 2**d`` nodes)."""
+
+    name = "butterfly"
+
+    def __init__(self, dimension: int):
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        self.dimension = dimension
+        self._rows = 1 << dimension
+        self._n = (dimension + 1) * self._rows
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def nodes(self) -> Iterator[BFNode]:
+        for level in range(self.dimension + 1):
+            for w in range(self._rows):
+                yield (level, w)
+
+    def neighbors(self, node: BFNode) -> Iterator[BFNode]:
+        level, w = node
+        self._check(node)
+        if level < self.dimension:
+            yield (level + 1, w)
+            yield (level + 1, w ^ (1 << level))
+        if level > 0:
+            yield (level - 1, w)
+            yield (level - 1, w ^ (1 << (level - 1)))
+
+    def index(self, node: BFNode) -> int:
+        level, w = node
+        self._check(node)
+        return level * self._rows + w
+
+    def node_at(self, idx: int) -> BFNode:
+        if not 0 <= idx < self._n:
+            raise IndexError(f"index {idx} out of range for BF({self.dimension})")
+        return divmod(idx, self._rows)
+
+    def _check(self, node: BFNode) -> None:
+        level, w = node
+        if not (0 <= level <= self.dimension and 0 <= w < self._rows):
+            raise ValueError(f"{node!r} is not a vertex of BF({self.dimension})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Butterfly(dimension={self.dimension})"

@@ -1,0 +1,36 @@
+"""Synchronous network simulation: the parallel-machine substrate.
+
+See DESIGN.md section 5: the paper's processors-and-clock-cycles cost model
+is realised here, so that dilation and congestion of an embedding translate
+into measured slowdown of real tree programs.
+"""
+
+from .compute import simulated_prefix, simulated_reduction
+from .engine import DeliveryStats, Message, SynchronousNetwork, UnreachableError
+from .mapping import ExecutionStats, simulate_on_guest, simulate_on_host
+from .programs import (
+    PROGRAMS,
+    TreeProgram,
+    broadcast_program,
+    leaf_gossip_program,
+    neighbor_exchange_program,
+    prefix_sum_program,
+    reduction_program,
+)
+
+__all__ = [
+    "Message",
+    "DeliveryStats",
+    "SynchronousNetwork",
+    "UnreachableError",
+    "TreeProgram",
+    "PROGRAMS",
+    "reduction_program",
+    "broadcast_program",
+    "prefix_sum_program",
+    "neighbor_exchange_program",
+    "leaf_gossip_program",
+    "ExecutionStats",
+    "simulate_on_host",
+    "simulate_on_guest",
+]

@@ -1,0 +1,108 @@
+"""Functional tree computations through the simulator.
+
+The rest of :mod:`repro.simulate` counts cycles; this module checks that
+the simulated machine actually *computes*: messages carry payloads, host
+processors multiplex their (up to 16) resident guest nodes, and the result
+of the distributed computation is compared against the direct sequential
+answer.
+
+* :func:`simulated_reduction` — leaves-to-root combine with an arbitrary
+  associative-commutative operator (default: sum).  Each guest node's value
+  is combined with its children's results exactly when the reduction
+  program's superstep schedule says the child messages arrive.
+* :func:`simulated_prefix` — Blelloch-style exclusive scan along root-to-
+  node paths (up-sweep + down-sweep), verified against a direct traversal.
+
+Both run entirely through :class:`SynchronousNetwork` deliveries, so a
+routing or scheduling bug would corrupt the numeric answer, not just the
+cycle counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from ..core.embedding import Embedding
+from .engine import Message, SynchronousNetwork
+from .programs import broadcast_program, reduction_program
+
+__all__ = ["simulated_reduction", "simulated_prefix"]
+
+
+def _check_values(embedding: Embedding, values: Sequence[Any]) -> None:
+    if len(values) != embedding.guest.n:
+        raise ValueError(
+            f"need one value per guest node: {embedding.guest.n} != {len(values)}"
+        )
+
+
+def simulated_reduction(
+    embedding: Embedding,
+    values: Sequence[Any],
+    combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
+    *,
+    link_capacity: int = 1,
+) -> tuple[Any, int]:
+    """Run a leaves-to-root reduction on the host; return (result, cycles).
+
+    Superstep ``k`` sends, for every height-``k`` guest node, its combined
+    subtree value to its parent's host image; the parent folds arrivals in.
+    The final value at the root equals the sequential fold over the whole
+    tree (tested in ``tests/test_compute.py``).
+    """
+    tree = embedding.guest
+    _check_values(embedding, values)
+    network = SynchronousNetwork(embedding.host, link_capacity=link_capacity)
+    acc: list[Any] = list(values)
+    total_cycles = 0
+    program = reduction_program(tree)
+    for step in program.supersteps:
+        messages = []
+        payloads = {}
+        for mid, (src, dst) in enumerate(step):
+            messages.append(Message(mid, embedding.phi[src], embedding.phi[dst]))
+            payloads[mid] = (dst, acc[src])
+        stats = network.deliver(messages)
+        total_cycles += stats.cycles
+        # arrivals fold into the parent's accumulator (order-independent
+        # because the operator is associative-commutative)
+        for mid in stats.delivery_cycle:
+            dst, value = payloads[mid]
+            acc[dst] = combine(acc[dst], value)
+    return acc[tree.root], total_cycles
+
+
+def simulated_prefix(
+    embedding: Embedding,
+    values: Sequence[Any],
+    combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
+    identity: Any = 0,
+    *,
+    link_capacity: int = 1,
+) -> tuple[list[Any], int]:
+    """Exclusive scan along root-to-node paths, computed distributedly.
+
+    Result ``out[v]`` is the fold of the values on the path from the root
+    down to (excluding) ``v`` — the tree analogue of an exclusive prefix
+    sum.  Computed by a broadcast down-sweep whose payloads accumulate the
+    path prefix; verified against a direct traversal in the tests.
+    """
+    tree = embedding.guest
+    _check_values(embedding, values)
+    network = SynchronousNetwork(embedding.host, link_capacity=link_capacity)
+    out: list[Any] = [identity] * tree.n
+    total_cycles = 0
+    program = broadcast_program(tree)
+    for step in program.supersteps:
+        messages = []
+        payloads = {}
+        for mid, (src, dst) in enumerate(step):
+            messages.append(Message(mid, embedding.phi[src], embedding.phi[dst]))
+            payloads[mid] = (dst, combine(out[src], values[src]))
+        stats = network.deliver(messages)
+        total_cycles += stats.cycles
+        for mid in stats.delivery_cycle:
+            dst, value = payloads[mid]
+            out[dst] = value
+    return out, total_cycles

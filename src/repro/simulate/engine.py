@@ -1,0 +1,221 @@
+"""Cycle-level synchronous message-passing network simulator.
+
+This is the library's stand-in for the parallel machine the paper reasons
+about (DESIGN.md section 5): a network of processors joined by
+bidirectional links, store-and-forward routing, and one message per link
+direction per clock cycle (configurable).  The paper's *dilation* is then
+literally the number of cycles a message between formerly-adjacent guest
+processors needs on the host; *congestion* shows up as queueing delay.
+
+The simulator is deterministic: shortest-path routes break ties towards the
+smallest canonical node index, and link contention is resolved FIFO by
+(arrival cycle, message id).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+from typing import Any, Hashable
+
+from ..networks.base import Topology, bfs_distances_from
+
+__all__ = ["Message", "DeliveryStats", "SynchronousNetwork", "UnreachableError"]
+
+
+class UnreachableError(RuntimeError):
+    """A message destination is disconnected from its source (failed links)."""
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message between two host nodes."""
+
+    msg_id: int
+    src: Node
+    dst: Node
+    payload: Any = None
+
+
+@dataclass
+class DeliveryStats:
+    """Outcome of one synchronous delivery phase."""
+
+    cycles: int
+    n_messages: int
+    #: per-message delivery cycle (1-based; 0 = src == dst, delivered free)
+    delivery_cycle: dict[int, int] = field(default_factory=dict)
+    #: traffic per directed link over the whole phase
+    link_traffic: dict[tuple[Node, Node], int] = field(default_factory=dict)
+    max_queue: int = 0
+
+    @property
+    def max_link_traffic(self) -> int:
+        return max(self.link_traffic.values(), default=0)
+
+
+class SynchronousNetwork:
+    """A topology plus routing tables and a store-and-forward executor.
+
+    ``failed_links`` marks bidirectional links as down: routing avoids
+    them, and delivery raises :class:`UnreachableError` when a destination
+    is cut off.  Links can also be failed mid-simulation with
+    :meth:`fail_link` (routing tables are rebuilt lazily) — the fault
+    injection hook the test suite exercises.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link_capacity: int = 1,
+        failed_links: Iterable[tuple[Node, Node]] | None = None,
+    ):
+        if link_capacity < 1:
+            raise ValueError(f"link capacity must be >= 1, got {link_capacity}")
+        self.topology = topology
+        self.link_capacity = link_capacity
+        self.failed: set[frozenset] = set()
+        for u, v in failed_links or ():
+            self.fail_link(u, v)
+        self._dist_to: dict[Node, dict[Node, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def fail_link(self, u: Node, v: Node) -> None:
+        """Take the (bidirectional) link ``{u, v}`` down.
+
+        Must name an actual topology edge; clears the routing caches so
+        in-flight simulations re-route on the next call.
+        """
+        if v not in set(self.topology.neighbors(u)):
+            raise ValueError(f"{u!r} -- {v!r} is not a link of {self.topology.name}")
+        self.failed.add(frozenset((u, v)))
+        self._dist_to = {}
+
+    def restore_link(self, u: Node, v: Node) -> None:
+        """Bring a previously failed link back up."""
+        self.failed.discard(frozenset((u, v)))
+        self._dist_to = {}
+
+    def live_neighbors(self, node: Node):
+        """The topology's neighbours reachable over non-failed links."""
+        if not self.failed:
+            yield from self.topology.neighbors(node)
+            return
+        for v in self.topology.neighbors(node):
+            if frozenset((node, v)) not in self.failed:
+                yield v
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _dist_table(self, dst: Node) -> dict[Node, int]:
+        table = self._dist_to.get(dst)
+        if table is None:
+            table = bfs_distances_from(self.live_neighbors, dst)
+            self._dist_to[dst] = table
+        return table
+
+    def next_hop(self, node: Node, dst: Node) -> Node:
+        """Deterministic shortest-path next hop from ``node`` towards ``dst``."""
+        if node == dst:
+            raise ValueError("message already at destination")
+        dist = self._dist_table(dst)
+        if node not in dist:
+            raise UnreachableError(f"{node!r} cannot reach {dst!r} (failed links)")
+        return min(
+            (v for v in self.live_neighbors(node) if dist.get(v, -2) == dist[node] - 1),
+            key=self.topology.index,
+        )
+
+    def route(self, src: Node, dst: Node) -> list[Node]:
+        """The full deterministic path ``src .. dst`` (inclusive)."""
+        path = [src]
+        cur = src
+        while cur != dst:
+            cur = self.next_hop(cur, dst)
+            path.append(cur)
+        return path
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def deliver(self, messages: list[Message]) -> DeliveryStats:
+        """Deliver all ``messages``, injected simultaneously at cycle 1.
+
+        Runs synchronous cycles until every message reaches its destination.
+        Each cycle, each directed link forwards at most ``link_capacity``
+        messages (FIFO per link); the rest wait in the node's output queue.
+        Returns per-message delivery cycles and per-link traffic.
+        """
+        return self.deliver_scheduled([(0, m) for m in messages])
+
+    def deliver_scheduled(self, schedule: list[tuple[int, Message]]) -> DeliveryStats:
+        """Deliver messages with per-message injection cycles.
+
+        ``schedule`` holds ``(inject_after_cycle, message)`` pairs: a message
+        scheduled at 0 starts moving in cycle 1, one scheduled at ``k``
+        starts in cycle ``k+1``.  This models pipelined (non-barrier)
+        execution where later supersteps launch while earlier traffic is
+        still in flight — contrast with the BSP semantics of
+        :func:`repro.simulate.mapping.simulate_on_host`.
+        """
+        stats = DeliveryStats(cycles=0, n_messages=len(schedule))
+        # queues[node] holds (seq, message) tuples in FIFO order
+        queues: dict[Node, deque[tuple[int, Message]]] = defaultdict(deque)
+        pending: dict[int, list[tuple[int, Message]]] = defaultdict(list)
+        seq = 0
+        last_inject = 0
+        for inject, m in schedule:
+            if inject < 0:
+                raise ValueError("injection cycle must be non-negative")
+            if m.src == m.dst:
+                stats.delivery_cycle[m.msg_id] = inject
+                continue
+            pending[inject].append((seq, m))
+            last_inject = max(last_inject, inject)
+            seq += 1
+
+        cycle = 0
+        while any(queues.values()) or any(c >= cycle for c in pending):
+            for s, m in pending.pop(cycle, ()):
+                queues[m.src].append((s, m))
+            if not any(queues.values()):
+                cycle += 1
+                continue
+            cycle += 1
+            arrivals: dict[Node, list[tuple[int, Message]]] = defaultdict(list)
+            for node in list(queues):
+                q = queues[node]
+                if not q:
+                    continue
+                stats.max_queue = max(stats.max_queue, len(q))
+                sent_per_link: dict[Node, int] = defaultdict(int)
+                kept: deque[tuple[int, Message]] = deque()
+                while q:
+                    s, m = q.popleft()
+                    hop = self.next_hop(node, m.dst)
+                    if sent_per_link[hop] < self.link_capacity:
+                        sent_per_link[hop] += 1
+                        key = (node, hop)
+                        stats.link_traffic[key] = stats.link_traffic.get(key, 0) + 1
+                        arrivals[hop].append((s, m))
+                    else:
+                        kept.append((s, m))
+                queues[node] = kept
+            for node, arrived in arrivals.items():
+                for s, m in arrived:
+                    if m.dst == node:
+                        stats.delivery_cycle[m.msg_id] = cycle
+                    else:
+                        queues[node].append((s, m))
+            # keep FIFO fairness stable: re-sort merged queues by sequence
+            for node in arrivals:
+                if queues[node]:
+                    queues[node] = deque(sorted(queues[node]))
+        stats.cycles = cycle
+        return stats

@@ -1,0 +1,51 @@
+"""Guest structures: rooted binary trees, generators, traversals, forests."""
+
+from .binary_tree import BinaryTree, theorem1_guest_size, theorem3_guest_size
+from .canonical import are_isomorphic, canonical_form, count_shapes, enumerate_shapes
+from .forest import ForestComponent, components_after_removal, is_collinear
+from .generators import (
+    FAMILIES,
+    broom_tree,
+    caterpillar_tree,
+    complete_binary_tree,
+    fibonacci_tree,
+    make_tree,
+    path_tree,
+    random_binary_tree,
+    random_split_tree,
+    remy_tree,
+    skewed_tree,
+    zigzag_tree,
+)
+from .traversal import bfs_order, euler_tour, heavy_path, lca, path_between, postorder
+
+__all__ = [
+    "BinaryTree",
+    "theorem1_guest_size",
+    "theorem3_guest_size",
+    "are_isomorphic",
+    "canonical_form",
+    "count_shapes",
+    "enumerate_shapes",
+    "ForestComponent",
+    "components_after_removal",
+    "is_collinear",
+    "FAMILIES",
+    "make_tree",
+    "complete_binary_tree",
+    "fibonacci_tree",
+    "path_tree",
+    "caterpillar_tree",
+    "random_binary_tree",
+    "random_split_tree",
+    "remy_tree",
+    "skewed_tree",
+    "zigzag_tree",
+    "broom_tree",
+    "bfs_order",
+    "euler_tour",
+    "heavy_path",
+    "lca",
+    "path_between",
+    "postorder",
+]

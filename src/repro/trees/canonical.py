@@ -1,0 +1,118 @@
+"""Canonical forms, isomorphism, and exhaustive enumeration of binary trees.
+
+The paper's theorems are universally quantified — *every* binary tree.
+Random families sample that space; this module lets the test suite close
+the gap exhaustively at small sizes:
+
+* :func:`canonical_form` — an AHU-style canonical encoding of a rooted
+  binary tree (children unordered, which matches the embedding problem:
+  swapping children changes nothing);
+* :func:`are_isomorphic` — shape equality via canonical forms;
+* :func:`enumerate_shapes` — one representative per isomorphism class of
+  ``n``-node rooted binary trees.  Counts follow the Wedderburn-Etherington
+  numbers (1, 1, 1, 2, 3, 6, 11, 23, 46, 98, ...), so full sweeps are
+  feasible up to n ~ 16 — enough to run the Theorem 1 machinery against
+  *all* trees of a given size (tests/test_exhaustive.py).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .binary_tree import BinaryTree
+
+__all__ = [
+    "canonical_form",
+    "are_isomorphic",
+    "count_shapes",
+    "enumerate_shapes",
+]
+
+
+def canonical_form(tree: BinaryTree) -> str:
+    """AHU canonical string of the rooted tree, children unordered.
+
+    Two trees have equal canonical forms iff they are isomorphic as rooted
+    trees with unordered children.
+    """
+    # iterative post-order to survive path-shaped trees
+    form: dict[int, str] = {}
+    for v in reversed(tree.preorder()):
+        kids = sorted(form[c] for c in tree.children(v))
+        form[v] = "(" + "".join(kids) + ")"
+    return form[tree.root]
+
+
+def are_isomorphic(a: BinaryTree, b: BinaryTree) -> bool:
+    """Rooted, unordered-children isomorphism."""
+    return a.n == b.n and canonical_form(a) == canonical_form(b)
+
+
+@lru_cache(maxsize=None)
+def count_shapes(n: int) -> int:
+    """Wedderburn-Etherington count of n-node rooted binary tree shapes."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n <= 1:
+        return n  # zero shapes on 0 nodes, one on 1
+    rest = n - 1  # nodes below the root
+    # root with one child subtree of size `rest`, or two subtrees {i, rest-i}
+    total = count_shapes(rest)  # single child
+    for i in range(1, rest // 2 + 1):
+        j = rest - i
+        if i < j:
+            total += count_shapes(i) * count_shapes(j)
+        else:  # i == j: unordered pair with repetition
+            c = count_shapes(i)
+            total += c * (c + 1) // 2
+    return total
+
+
+def enumerate_shapes(n: int) -> list[BinaryTree]:
+    """One representative per isomorphism class of n-node binary trees.
+
+    Ordered deterministically; ``len(result) == count_shapes(n)``.  Sizes
+    beyond ~16 get large quickly (WE numbers grow ~2.48^n) — callers should
+    stay small.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+
+    @lru_cache(maxsize=None)
+    def shapes(m: int) -> tuple[tuple, ...]:
+        """Shapes as nested child-tuples: () is a leaf."""
+        if m == 0:
+            return ()
+        if m == 1:
+            return ((),)
+        out: list[tuple] = []
+        rest = m - 1
+        for sub in shapes(rest):  # single child
+            out.append((sub,))
+        for i in range(1, rest // 2 + 1):
+            j = rest - i
+            left_shapes = shapes(i)
+            right_shapes = shapes(j)
+            if i < j:
+                for ls in left_shapes:
+                    for rs in right_shapes:
+                        out.append((ls, rs))
+            else:
+                for a in range(len(left_shapes)):
+                    for b in range(a, len(left_shapes)):
+                        out.append((left_shapes[a], left_shapes[b]))
+        return tuple(out)
+
+    result = []
+    for shape in shapes(n):
+        parent: list[int] = []
+
+        def build(node: tuple, par: int) -> None:
+            idx = len(parent)
+            parent.append(par)
+            for child in node:
+                build(child, idx)
+
+        build(shape, -1)
+        result.append(BinaryTree(parent))
+    return result

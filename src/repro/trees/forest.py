@@ -1,0 +1,104 @@
+"""Induced forests and component/attachment bookkeeping.
+
+The Theorem 1 construction constantly reasons about the forest ``F(S, T)``
+induced by removing a node set from a tree: which components appear, and by
+how many edges each component is attached to the removed set.  *Collinearity*
+(paper, section 2) is the property that every component is attached by at
+most two edges; it is what keeps every unplaced piece an "interval" with at
+most two designated boundary nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+from dataclasses import dataclass
+
+from .binary_tree import BinaryTree
+
+__all__ = ["ForestComponent", "components_after_removal", "is_collinear"]
+
+
+@dataclass(frozen=True)
+class ForestComponent:
+    """One connected component of ``T - removed`` plus its boundary edges.
+
+    ``attachments`` lists the tree edges ``(inside, outside)`` leaving the
+    component, with ``inside`` in the component and ``outside`` in the
+    removed set.  The ``inside`` endpoints are the component's *designated
+    nodes* in the paper's terminology.
+    """
+
+    nodes: frozenset[int]
+    attachments: tuple[tuple[int, int], ...]
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the component."""
+        return len(self.nodes)
+
+    @property
+    def designated(self) -> tuple[int, ...]:
+        """Inside endpoints of the boundary edges, deduplicated, ordered."""
+        seen: dict[int, None] = {}
+        for inside, _ in self.attachments:
+            seen.setdefault(inside)
+        return tuple(seen)
+
+    @property
+    def n_attachment_edges(self) -> int:
+        """Number of edges from the component to the removed set."""
+        return len(self.attachments)
+
+
+def components_after_removal(
+    tree: BinaryTree,
+    removed: Collection[int],
+    within: Iterable[int] | None = None,
+) -> list[ForestComponent]:
+    """Components of ``tree`` restricted to ``within`` minus ``removed``.
+
+    ``within`` (default: all nodes) lets callers analyse a *piece* of the
+    original tree — the embedding algorithm works on pieces throughout.
+    Attachment edges are reported only towards removed nodes **inside**
+    ``within``; edges leaving ``within`` entirely are outside the piece's
+    universe and ignored.
+    """
+    removed_set = set(removed)
+    universe = set(within) if within is not None else set(tree.nodes())
+    if not removed_set <= universe:
+        raise ValueError("removed nodes must lie inside the analysed universe")
+    alive = universe - removed_set
+    seen: set[int] = set()
+    out: list[ForestComponent] = []
+    for start in sorted(alive):
+        if start in seen:
+            continue
+        comp: list[int] = []
+        boundary: list[tuple[int, int]] = []
+        stack = [start]
+        seen.add(start)
+        while stack:
+            v = stack.pop()
+            comp.append(v)
+            for u in tree.neighbors(v):
+                if u not in universe:
+                    continue
+                if u in removed_set:
+                    boundary.append((v, u))
+                elif u not in seen:
+                    seen.add(u)
+                    stack.append(u)
+        boundary.sort()
+        out.append(ForestComponent(frozenset(comp), tuple(boundary)))
+    return out
+
+
+def is_collinear(
+    tree: BinaryTree,
+    node_set: Collection[int],
+    within: Iterable[int] | None = None,
+) -> bool:
+    """Paper's collinearity: every component of the complement attaches to
+    ``node_set`` by at most two edges."""
+    comps = components_after_removal(tree, node_set, within=within)
+    return all(c.n_attachment_edges <= 2 for c in comps)

@@ -1,0 +1,307 @@
+"""Binary-tree workload generators.
+
+The paper's theorems quantify over *all* binary trees, so the experiments
+must exercise structurally diverse families.  Every generator takes the
+target node count ``n`` and a seed and returns a :class:`BinaryTree` with
+exactly ``n`` nodes; :data:`FAMILIES` is the registry the benchmark harness
+sweeps over.
+
+Families
+--------
+``complete``       perfectly balanced (the easy case every prior work handles)
+``path``           a single descending chain (maximally unbalanced)
+``caterpillar``    a spine with a leaf hanging off every spine node
+``random``         uniform random attachment: grow by picking a random node
+                   with spare child capacity
+``random_split``   recursive random partition of the remaining node budget
+``remy``           uniform *full* binary tree via Remy's algorithm, padded to
+                   the exact size when ``n`` is even
+``skewed``         random split with a strong left bias (deep and thin)
+``zigzag``         alternating left/right chain with occasional leaves
+``broom``          a long handle ending in a complete-binary-tree brush
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping
+
+from .._util import as_rng, check_positive
+from .binary_tree import BinaryTree
+
+__all__ = [
+    "FAMILIES",
+    "broom_tree",
+    "fibonacci_tree",
+    "caterpillar_tree",
+    "complete_binary_tree",
+    "make_tree",
+    "path_tree",
+    "random_binary_tree",
+    "random_split_tree",
+    "remy_tree",
+    "skewed_tree",
+    "zigzag_tree",
+]
+
+
+def complete_binary_tree(n: int, seed: int | random.Random | None = None) -> BinaryTree:
+    """The first ``n`` nodes of the infinite complete binary tree (heap order).
+
+    For ``n = 2**k - 1`` this is the perfectly balanced tree of height
+    ``k - 1``; other sizes truncate the last level from the left.
+    """
+    check_positive("n", n)
+    parent = [-1] + [(v - 1) // 2 for v in range(1, n)]
+    return BinaryTree(parent)
+
+
+def path_tree(n: int, seed: int | random.Random | None = None) -> BinaryTree:
+    """A descending chain of ``n`` nodes — the degenerate binary tree."""
+    check_positive("n", n)
+    return BinaryTree([-1] + list(range(n - 1)))
+
+
+def caterpillar_tree(n: int, seed: int | random.Random | None = None) -> BinaryTree:
+    """A spine with a single leaf attached to every interior spine node.
+
+    Caterpillars are the classic adversary for balanced-host embeddings:
+    they are "path-like" globally but have linear leaf mass.
+    """
+    check_positive("n", n)
+    parent = [-1]
+    spine = 0
+    while len(parent) < n:
+        # attach a leaf to the current spine node, then extend the spine
+        if len(parent) < n:
+            parent.append(spine)
+            leaf_or_spine = len(parent) - 1
+        if len(parent) < n:
+            parent.append(spine)
+            spine = len(parent) - 1
+        else:
+            spine = leaf_or_spine
+    return BinaryTree(parent)
+
+
+def random_binary_tree(n: int, seed: int | random.Random | None = None) -> BinaryTree:
+    """Grow a tree by uniform random attachment.
+
+    Repeatedly pick, uniformly, a node that still has spare child capacity
+    and give it a new child.  Not the uniform distribution over tree shapes
+    (use :func:`remy_tree` for that) but spans shapes from near-path to
+    near-balanced and is cheap at any size.
+    """
+    check_positive("n", n)
+    rng = as_rng(seed)
+    parent = [-1]
+    open_nodes = [0, 0]  # node 0 has two open child slots
+    for v in range(1, n):
+        i = rng.randrange(len(open_nodes))
+        p = open_nodes[i]
+        # remove the used slot in O(1)
+        open_nodes[i] = open_nodes[-1]
+        open_nodes.pop()
+        parent.append(p)
+        open_nodes.extend((v, v))
+    return BinaryTree(parent)
+
+
+def random_split_tree(n: int, seed: int | random.Random | None = None) -> BinaryTree:
+    """Recursively split the node budget uniformly between two children.
+
+    Each node draws ``left ~ Uniform{0..rest}`` and recurses; produces
+    trees whose subtree-size profile is much more varied than uniform
+    attachment.
+    """
+    check_positive("n", n)
+    rng = as_rng(seed)
+    parent = [0] * n
+    parent[0] = -1
+    next_label = 1
+
+    # Explicit stack of (parent_label, budget) jobs to avoid recursion limits.
+    stack: list[tuple[int, int]] = []
+
+    def spawn(par: int, budget: int) -> None:
+        nonlocal next_label
+        if budget <= 0:
+            return
+        label = next_label
+        next_label += 1
+        parent[label] = par
+        stack.append((label, budget - 1))
+
+    root_budget = n - 1
+    left = rng.randint(0, root_budget)
+    spawn(0, left)
+    spawn(0, root_budget - left)
+    while stack:
+        node, budget = stack.pop()
+        if budget == 0:
+            continue
+        left = rng.randint(0, budget)
+        spawn(node, left)
+        spawn(node, budget - left)
+    return BinaryTree(parent)
+
+
+def remy_tree(n: int, seed: int | random.Random | None = None) -> BinaryTree:
+    """Uniformly random binary tree shape via Remy's algorithm.
+
+    Remy's algorithm generates a uniformly random *full* binary tree with
+    ``k`` internal nodes (``2k + 1`` nodes total).  For even ``n`` we
+    generate the largest full tree that fits and pad with a single chain
+    node (documented deviation; the padded node is a leaf extension).
+    """
+    check_positive("n", n)
+    rng = as_rng(seed)
+    if n == 1:
+        return BinaryTree([-1])
+    k = (n - 1) // 2  # internal nodes of the full tree
+    full_nodes = 2 * k + 1
+    # Remy: maintain a growing full binary tree; at each step pick a random
+    # node, replace it by a new internal node one of whose children is the
+    # old subtree and the other a new leaf (side chosen at random).
+    parent = [-1]
+    children: list[list[int]] = [[]]
+    for _ in range(k):
+        target = rng.randrange(len(parent))
+        side = rng.randrange(2)
+        internal = len(parent)
+        parent.append(parent[target])
+        children.append([])
+        leaf = len(parent)
+        parent.append(internal)
+        children.append([])
+        p = parent[internal]
+        if p != -1:
+            children[p][children[p].index(target)] = internal
+        parent[target] = internal
+        if side == 0:
+            children[internal] = [target, leaf]
+        else:
+            children[internal] = [leaf, target]
+    tree = BinaryTree(parent)
+    if full_nodes < n:
+        tree = tree.padded_to(n)
+    return tree
+
+
+def skewed_tree(n: int, seed: int | random.Random | None = None, bias: float = 0.85) -> BinaryTree:
+    """Random split with a strong bias: most of each budget goes left.
+
+    Produces deep, thin trees with occasional heavy side branches — a good
+    stress case for the load-balancing half of the embedding.
+    """
+    check_positive("n", n)
+    rng = as_rng(seed)
+    parent = [0] * n
+    parent[0] = -1
+    next_label = 1
+    stack: list[tuple[int, int]] = [(0, n - 1)]
+    while stack:
+        node, budget = stack.pop()
+        if budget == 0:
+            continue
+        heavy = int(round(budget * bias))
+        jitter = rng.randint(-budget // 8 - 1, budget // 8 + 1)
+        left = min(budget, max(0, heavy + jitter))
+        for sub_budget in (left, budget - left):
+            if sub_budget > 0:
+                label = next_label
+                next_label += 1
+                parent[label] = node
+                stack.append((label, sub_budget - 1))
+    return BinaryTree(parent)
+
+
+def zigzag_tree(n: int, seed: int | random.Random | None = None) -> BinaryTree:
+    """A chain that alternates sides, sprouting a leaf at every other step."""
+    check_positive("n", n)
+    parent = [-1]
+    spine = 0
+    step = 0
+    while len(parent) < n:
+        if step % 2 == 1 and len(parent) < n:
+            parent.append(spine)  # leaf off the spine
+        if len(parent) < n:
+            parent.append(spine)
+            spine = len(parent) - 1
+        step += 1
+    return BinaryTree(parent)
+
+
+def broom_tree(n: int, seed: int | random.Random | None = None) -> BinaryTree:
+    """Half the nodes form a handle (path), the rest a complete-tree brush."""
+    check_positive("n", n)
+    handle = max(1, n // 2)
+    parent = [-1] + list(range(handle - 1))
+    # brush: complete binary tree hanging below the end of the handle
+    base = handle - 1
+    for v in range(handle, n):
+        off = v - handle  # position within the brush, heap order
+        parent.append(base if off == 0 else handle + (off - 1) // 2)
+    return BinaryTree(parent)
+
+
+def fibonacci_tree(n: int, seed: int | random.Random | None = None) -> BinaryTree:
+    """The AVL worst case: F(h) has subtrees F(h-1) and F(h-2).
+
+    The largest Fibonacci tree with at most ``n`` nodes is built, then
+    padded with a chain to exactly ``n`` — maximally height-unbalanced
+    among *height-balanced* trees, a shape none of the other families hit.
+    """
+    check_positive("n", n)
+
+    sizes = [1, 2]  # nodes of F(1), F(2)
+    while sizes[-1] < n:
+        sizes.append(sizes[-1] + sizes[-2] + 1)
+    h = len(sizes)
+    while h > 1 and sizes[h - 1] > n:
+        h -= 1
+
+    parent: list[int] = []
+
+    def build(height: int, par: int) -> None:
+        idx = len(parent)
+        parent.append(par)
+        if height >= 2:
+            build(height - 1, idx)
+        if height >= 3:
+            build(height - 2, idx)
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * h + 100))
+    try:
+        build(h, -1)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return BinaryTree(parent).padded_to(n)
+
+
+def make_tree(family: str, n: int, seed: int | random.Random | None = None) -> BinaryTree:
+    """Dispatch by family name through :data:`FAMILIES`."""
+    try:
+        gen = FAMILIES[family]
+    except KeyError:
+        raise ValueError(f"unknown tree family {family!r}; known: {sorted(FAMILIES)}") from None
+    return gen(n, seed)
+
+
+#: Registry of generators; each maps ``(n, seed) -> BinaryTree`` with exactly
+#: ``n`` nodes.  Benchmarks sweep over this table.
+FAMILIES: Mapping[str, Callable[..., BinaryTree]] = {
+    "complete": complete_binary_tree,
+    "path": path_tree,
+    "caterpillar": caterpillar_tree,
+    "random": random_binary_tree,
+    "random_split": random_split_tree,
+    "remy": remy_tree,
+    "skewed": skewed_tree,
+    "zigzag": zigzag_tree,
+    "broom": broom_tree,
+    "fibonacci": fibonacci_tree,
+}

@@ -1,0 +1,103 @@
+"""Traversal and decomposition helpers for :class:`BinaryTree`.
+
+These are the pieces the separator lemmas and the embedding algorithm lean
+on: subtree sizes restricted to a node subset, heavy-child walks, paths and
+lowest common ancestors.  Everything is iterative — the degenerate `path`
+family would blow the recursion limit otherwise.
+"""
+
+from __future__ import annotations
+
+from .binary_tree import BinaryTree
+
+__all__ = [
+    "bfs_order",
+    "euler_tour",
+    "heavy_path",
+    "lca",
+    "path_between",
+    "postorder",
+]
+
+
+def postorder(tree: BinaryTree) -> list[int]:
+    """Children-before-parents listing (reverse of preorder is one)."""
+    return list(reversed(tree.preorder()))
+
+
+def bfs_order(tree: BinaryTree) -> list[int]:
+    """Level order from the root."""
+    from collections import deque
+
+    order: list[int] = []
+    queue = deque([tree.root])
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        queue.extend(tree.children(v))
+    return order
+
+
+def euler_tour(tree: BinaryTree) -> list[int]:
+    """Euler tour: every edge traversed twice, nodes repeated on return.
+
+    Useful to the simulator workloads (tree-walking programs).
+    """
+    tour: list[int] = []
+    # (node, child_iterator_position) explicit stack
+    stack: list[tuple[int, int]] = [(tree.root, 0)]
+    while stack:
+        v, i = stack.pop()
+        tour.append(v)
+        kids = tree.children(v)
+        if i < len(kids):
+            stack.append((v, i + 1))
+            stack.append((kids[i], 0))
+    return tour
+
+
+def path_between(tree: BinaryTree, u: int, v: int) -> list[int]:
+    """The unique tree path from ``u`` to ``v``, endpoints included."""
+    depth = tree.depths()
+    left: list[int] = []
+    right: list[int] = []
+    while depth[u] > depth[v]:
+        left.append(u)
+        u = tree.parent(u)  # type: ignore[assignment]
+    while depth[v] > depth[u]:
+        right.append(v)
+        v = tree.parent(v)  # type: ignore[assignment]
+    while u != v:
+        left.append(u)
+        right.append(v)
+        u = tree.parent(u)  # type: ignore[assignment]
+        v = tree.parent(v)  # type: ignore[assignment]
+    return left + [u] + right[::-1]
+
+
+def lca(tree: BinaryTree, u: int, v: int) -> int:
+    """Lowest common ancestor of ``u`` and ``v`` (plain pointer chasing)."""
+    depth = tree.depths()
+    while depth[u] > depth[v]:
+        u = tree.parent(u)  # type: ignore[assignment]
+    while depth[v] > depth[u]:
+        v = tree.parent(v)  # type: ignore[assignment]
+    while u != v:
+        u = tree.parent(u)  # type: ignore[assignment]
+        v = tree.parent(v)  # type: ignore[assignment]
+    return u
+
+
+def heavy_path(tree: BinaryTree, start: int | None = None) -> list[int]:
+    """Walk from ``start`` (default: root) always into the largest subtree.
+
+    This is exactly the walk of the paper's ``find1`` procedure, exposed for
+    inspection and testing.
+    """
+    sizes = tree.subtree_sizes()
+    v = tree.root if start is None else start
+    path = [v]
+    while tree.children(v):
+        v = max(tree.children(v), key=lambda c: sizes[c])
+        path.append(v)
+    return path

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite (strategies live in strategies.py)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.trees import FAMILIES
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xBEEF)
+
+
+@pytest.fixture(params=sorted(FAMILIES))
+def family(request) -> str:
+    return request.param

@@ -1,0 +1,20 @@
+"""Hypothesis strategies shared across the test suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.trees import BinaryTree, FAMILIES, make_tree
+
+
+@st.composite
+def binary_trees(draw, min_nodes: int = 1, max_nodes: int = 60) -> BinaryTree:
+    """Random binary trees drawn over all families, sizes and seeds.
+
+    Shrinks towards small sizes; the shape seed shrinks towards 0 which is
+    the fully deterministic attachment order.
+    """
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    family = draw(st.sampled_from(sorted(FAMILIES)))
+    return make_tree(family, n, seed=seed)

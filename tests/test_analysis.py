@@ -1,0 +1,88 @@
+"""Analysis helpers: distances, metrics, tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    all_pairs_distances,
+    collect_metrics,
+    dilation_histogram,
+    distance_histogram,
+    eccentricities,
+    format_claim_reports,
+    load_histogram,
+    markdown_table,
+)
+from repro.core import theorem1_embedding, verify_figure1
+from repro.networks import Hypercube, XTree
+from repro.trees import make_tree, theorem1_guest_size
+
+
+class TestDistances:
+    def test_all_pairs_hypercube(self):
+        q = Hypercube(4)
+        D = all_pairs_distances(q)
+        assert D.shape == (16, 16)
+        for u in range(16):
+            for v in range(16):
+                assert D[u, v] == bin(u ^ v).count("1")
+
+    def test_all_pairs_symmetric_zero_diag(self):
+        D = all_pairs_distances(XTree(3))
+        assert (D == D.T).all()
+        assert (np.diag(D) == 0).all()
+        assert (D >= 0).all()  # connected: no -1 left
+
+    def test_distance_histogram(self):
+        D = all_pairs_distances(Hypercube(2))
+        # pairs at distance 1: 4 edges; at distance 2: 2 diagonals
+        assert distance_histogram(D) == {1: 4, 2: 2}
+
+    def test_eccentricities(self):
+        D = all_pairs_distances(Hypercube(3))
+        assert (eccentricities(D) == 3).all()
+
+
+class TestMetrics:
+    @pytest.fixture(scope="class")
+    def result(self):
+        tree = make_tree("random", theorem1_guest_size(2), seed=0)
+        return theorem1_embedding(tree)
+
+    def test_collect_metrics(self, result):
+        m = collect_metrics("t1", result.embedding)
+        assert m.dilation <= 3
+        assert m.load_factor == 16
+        assert 0 < m.mean_edge_dilation <= m.dilation
+        assert m.congestion >= 1
+
+    def test_collect_metrics_skip_congestion(self, result):
+        m = collect_metrics("t1", result.embedding, congestion=False)
+        assert m.congestion == -1
+
+    def test_dilation_histogram_sums_to_edges(self, result):
+        hist = dilation_histogram(result.embedding)
+        assert sum(hist.values()) == result.embedding.guest.n - 1
+
+    def test_load_histogram(self, result):
+        hist = load_histogram(result.embedding)
+        assert hist == {16: result.embedding.host.n_nodes}
+
+
+class TestTables:
+    def test_markdown_table(self):
+        out = markdown_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_empty_rows(self):
+        out = markdown_table(["x"], [])
+        assert "x" in out
+
+    def test_format_claim_reports(self):
+        out = format_claim_reports([verify_figure1(2)])
+        assert "PASS" in out and "Figure 1" in out

@@ -1,0 +1,57 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEmbed:
+    def test_embed_happy_path(self, capsys):
+        rc = main(["embed", "--family", "random", "--height", "2", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "dilation" in out and "load=16" in out
+
+    def test_embed_show_placement(self, capsys):
+        rc = main(["embed", "--family", "path", "--height", "1", "--show-placement"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "-> (0, 0)" in out and "eps" in out
+
+    def test_embed_validate_flag(self, capsys):
+        assert main(["embed", "--height", "2", "--validate"]) == 0
+
+
+class TestVerify:
+    def test_verify_all_pass(self, capsys):
+        rc = main(["verify", "--height", "2", "--family", "remy", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MISS" not in out
+        assert "Theorem 1" in out and "Theorem 4" in out
+
+
+class TestSimulate:
+    def test_simulate_single_program(self, capsys):
+        rc = main(["simulate", "--height", "2", "--program", "reduction"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "reduction" in out and "slowdown" in out
+
+    def test_simulate_link_capacity(self, capsys):
+        rc = main(
+            ["simulate", "--height", "1", "--program", "neighbor_exchange", "--link-capacity", "4"]
+        )
+        assert rc == 0
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["embed", "--family", "nope"])

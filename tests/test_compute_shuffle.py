@@ -1,0 +1,146 @@
+"""Functional compute layer and the shuffle-exchange/de Bruijn networks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import order_chunk_embedding, theorem1_embedding
+from repro.networks import DeBruijn, ShuffleExchange
+from repro.simulate import simulated_prefix, simulated_reduction
+from repro.trees import make_tree, theorem1_guest_size
+
+
+@pytest.fixture(scope="module")
+def embedded():
+    tree = make_tree("random", theorem1_guest_size(3), seed=4)
+    return tree, theorem1_embedding(tree).embedding
+
+
+class TestSimulatedReduction:
+    def test_sum_matches(self, embedded):
+        tree, emb = embedded
+        rng = random.Random(0)
+        vals = [rng.randrange(1000) for _ in range(tree.n)]
+        result, cycles = simulated_reduction(emb, vals)
+        assert result == sum(vals)
+        assert cycles >= tree.height()  # at least the wave depth
+
+    def test_max_operator(self, embedded):
+        tree, emb = embedded
+        rng = random.Random(1)
+        vals = [rng.randrange(10**6) for _ in range(tree.n)]
+        result, _ = simulated_reduction(emb, vals, combine=max)
+        assert result == max(vals)
+
+    def test_works_through_any_embedding(self, embedded):
+        """A worse embedding changes cycles, never the answer."""
+        tree, good = embedded
+        bad = order_chunk_embedding(tree)
+        vals = list(range(tree.n))
+        r_good, c_good = simulated_reduction(good, vals)
+        r_bad, c_bad = simulated_reduction(bad, vals)
+        assert r_good == r_bad == sum(vals)
+        assert c_bad >= c_good
+
+    def test_value_count_checked(self, embedded):
+        tree, emb = embedded
+        with pytest.raises(ValueError, match="one value per guest"):
+            simulated_reduction(emb, [1, 2, 3])
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=48, max_size=48))
+    @settings(max_examples=15, deadline=None)
+    def test_reduction_property(self, vals):
+        tree = make_tree("remy", 48, seed=9)
+        emb = theorem1_embedding(tree).embedding
+        result, _ = simulated_reduction(emb, vals)
+        assert result == sum(vals)
+
+
+class TestSimulatedPrefix:
+    def test_matches_direct_traversal(self, embedded):
+        tree, emb = embedded
+        rng = random.Random(2)
+        vals = [rng.randrange(100) for _ in range(tree.n)]
+        prefix, _ = simulated_prefix(emb, vals)
+        for v in tree.nodes():
+            acc = 0
+            u = tree.parent(v)
+            while u is not None:
+                acc += vals[u]
+                u = tree.parent(u)
+            assert prefix[v] == acc
+
+    def test_root_gets_identity(self, embedded):
+        tree, emb = embedded
+        prefix, _ = simulated_prefix(emb, [5] * tree.n, identity=0)
+        assert prefix[tree.root] == 0
+
+    def test_string_monoid(self):
+        """Non-numeric payloads: path labels concatenate root-down."""
+        tree = make_tree("path", 48, seed=0)
+        emb = theorem1_embedding(tree).embedding
+        labels = [chr(ord("a") + (v % 26)) for v in tree.nodes()]
+        prefix, _ = simulated_prefix(
+            emb, labels, combine=lambda a, b: a + b, identity=""
+        )
+        # node 5 on a path: prefix = labels of nodes 0..4
+        assert prefix[5] == "".join(labels[:5])
+
+
+class TestShuffleExchange:
+    def test_size_and_degree(self):
+        for d in (1, 2, 3, 5):
+            se = ShuffleExchange(d)
+            assert se.n_nodes == 2**d
+            assert se.max_degree() <= 3
+
+    def test_connected(self):
+        for d in (2, 3, 4, 6):
+            assert ShuffleExchange(d).is_connected()
+
+    def test_shuffle_is_rotation(self):
+        se = ShuffleExchange(4)
+        # 0b0110 -> 0b1100; 0b1001 -> 0b0011
+        assert se._shuffle(0b0110) == 0b1100
+        assert se._shuffle(0b1001) == 0b0011
+        assert se._unshuffle(se._shuffle(0b1011)) == 0b1011
+
+    def test_neighbors_symmetric(self):
+        se = ShuffleExchange(4)
+        for u in se.nodes():
+            for v in se.neighbors(u):
+                assert u in set(se.neighbors(v))
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            ShuffleExchange(0)
+
+
+class TestDeBruijn:
+    def test_size_and_degree(self):
+        for d in (1, 2, 3, 5):
+            db = DeBruijn(d)
+            assert db.n_nodes == 2**d
+            assert db.max_degree() <= 4
+
+    def test_connected_and_small_diameter(self):
+        for d in (2, 3, 4, 6):
+            db = DeBruijn(d)
+            assert db.is_connected()
+            assert db.diameter() <= d
+
+    def test_neighbors_symmetric(self):
+        db = DeBruijn(4)
+        for u in db.nodes():
+            for v in db.neighbors(u):
+                assert u in set(db.neighbors(v))
+
+    def test_shift_register_edges(self):
+        db = DeBruijn(3)
+        # 0b011 shifts to 0b110 and 0b111
+        nbrs = set(db.neighbors(0b011))
+        assert 0b110 in nbrs and 0b111 in nbrs

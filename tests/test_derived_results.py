@@ -1,0 +1,175 @@
+"""Theorems 2 & 3, the Q_r corollary, Lemma 3 and the inorder embedding."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    corollary_injective_hypercube,
+    expand_to_injective,
+    injective_xtree_embedding,
+    inorder_embedding,
+    theorem1_embedding,
+    theorem3_embedding,
+    xtree_to_hypercube_map,
+)
+from repro.networks import CompleteBinaryTreeNet, XTree, hamming_distance
+from repro.trees import make_tree, theorem1_guest_size, theorem3_guest_size
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_injective_dilation_11(self, family, r):
+        tree = make_tree(family, theorem1_guest_size(r), seed=2)
+        emb = injective_xtree_embedding(tree)
+        rep = emb.report()
+        assert rep.injective
+        assert rep.dilation <= 11
+        assert emb.host.height == r + 4
+
+    def test_constant_expansion(self):
+        """|X(r+4)| / n = (2^{r+5}-1)/(16*(2^{r+1}-1)) -> 2 from above."""
+        for r in (1, 3, 5):
+            tree = make_tree("random", theorem1_guest_size(r), seed=0)
+            emb = injective_xtree_embedding(tree)
+            assert emb.expansion() < 2.2
+
+    def test_extension_preserves_cohabitants(self):
+        """Each guest keeps its old host vertex as the length-r prefix."""
+        tree = make_tree("random", theorem1_guest_size(2), seed=1)
+        result = theorem1_embedding(tree)
+        emb = expand_to_injective(result)
+        for v in tree.nodes():
+            old_level, old_idx = result.embedding.phi[v]
+            new_level, new_idx = emb.phi[v]
+            assert new_level == old_level + 4
+            assert new_idx >> 4 == old_idx
+
+    def test_expand_rejects_overload(self):
+        """A synthetic load-17 'result' must be refused: only 16 suffixes."""
+        from repro.core import Embedding
+        from repro.core.intervals import LayoutStats
+        from repro.core.xtree_embed import XTreeEmbeddingResult
+
+        tree = make_tree("path", 17)
+        emb = Embedding(tree, XTree(0), {v: (0, 0) for v in tree.nodes()})
+        result = XTreeEmbeddingResult(emb, LayoutStats())
+        with pytest.raises(ValueError, match="load factor"):
+            expand_to_injective(result)
+
+
+class TestInorder:
+    @pytest.mark.parametrize("r", [0, 1, 2, 4, 6])
+    def test_dilation_2(self, r):
+        io = inorder_embedding(r)
+        net = CompleteBinaryTreeNet(r)
+        assert len(set(io.values())) == len(io)  # injective
+        for u, v in net.edges():
+            assert hamming_distance(io[u], io[v]) <= 2
+
+    def test_left_edges_have_dilation_2_right_edges_1(self):
+        """Paper: image of {a, a0} has dilation 2 and {a, a1} dilation 1."""
+        io = inorder_embedding(4)
+        for level in range(4):
+            for idx in range(1 << level):
+                a = (level, idx)
+                left = (level + 1, 2 * idx)
+                right = (level + 1, 2 * idx + 1)
+                assert hamming_distance(io[a], io[left]) == 2
+                assert hamming_distance(io[a], io[right]) == 1
+
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_distance_property_exhaustive(self, r):
+        io = inorder_embedding(r)
+        net = CompleteBinaryTreeNet(r)
+        for a, b in itertools.combinations(list(net.nodes()), 2):
+            assert hamming_distance(io[a], io[b]) <= net.distance(a, b) + 1
+
+    def test_values_have_marker_bit(self):
+        """delta_io(alpha) = alpha 1 0^{r-|alpha|}: bit r-|alpha| is set."""
+        r = 5
+        io = inorder_embedding(r)
+        for (level, idx), val in io.items():
+            assert (val >> (r - level)) & 1 == 1
+
+
+class TestLemma3:
+    @pytest.mark.parametrize("r", [0, 1, 2, 3])
+    def test_distance_property_exhaustive(self, r):
+        xmap = xtree_to_hypercube_map(r)
+        xtree = XTree(r)
+        assert len(set(xmap.values())) == len(xmap)
+        for a, b in itertools.combinations(list(xtree.nodes()), 2):
+            assert hamming_distance(xmap[a], xmap[b]) <= xtree.distance(a, b) + 1
+
+    def test_distance_property_sampled_large(self):
+        r = 7
+        xmap = xtree_to_hypercube_map(r)
+        xtree = XTree(r)
+        rng = random.Random(0)
+        nodes = list(xtree.nodes())
+        for _ in range(300):
+            a, b = rng.choice(nodes), rng.choice(nodes)
+            assert hamming_distance(xmap[a], xmap[b]) <= xtree.distance(a, b) + 1
+
+    def test_siblings_are_hypercube_neighbors(self):
+        """Key step of the proof: horizontal successors map to adjacent
+        hypercube vertices."""
+        r = 6
+        xmap = xtree_to_hypercube_map(r)
+        for level in range(1, r + 1):
+            for idx in range((1 << level) - 1):
+                a, b = (level, idx), (level, idx + 1)
+                assert hamming_distance(xmap[a], xmap[b]) == 1
+
+    def test_tree_edges_within_2(self):
+        r = 6
+        xmap = xtree_to_hypercube_map(r)
+        xtree = XTree(r)
+        for level in range(r):
+            for idx in range(1 << level):
+                for child in xtree.children((level, idx)):
+                    assert hamming_distance(xmap[(level, idx)], xmap[child]) <= 2
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("r", [1, 2, 3, 4])
+    def test_bounds(self, r):
+        tree = make_tree("random", theorem3_guest_size(r), seed=6)
+        emb = theorem3_embedding(tree)
+        assert emb.dilation() <= 4
+        assert emb.load_factor() <= 16
+        assert emb.host.dimension == r
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError, match="16"):
+            theorem3_embedding(make_tree("random", 100, seed=0))
+
+    def test_optimal_hypercube(self):
+        """Host is the smallest hypercube that can hold n guests at load 16."""
+        r = 4
+        n = theorem3_guest_size(r)
+        emb = theorem3_embedding(make_tree("remy", n, seed=1))
+        assert 16 * emb.host.n_nodes >= n
+        assert 16 * (emb.host.n_nodes // 2) < n
+
+
+class TestCorollary:
+    def test_injective_dilation_8(self):
+        for n, fam in ((100, "random"), (240, "remy"), (496, "path")):
+            tree = make_tree(fam, n, seed=3)
+            emb = corollary_injective_hypercube(tree)
+            rep = emb.report()
+            assert rep.injective
+            assert rep.dilation <= 8
+            # host is Q_r with n <= 2^r - 16
+            assert tree.n <= 2**emb.host.dimension - 16
+
+    def test_exact_size_no_padding(self):
+        tree = make_tree("random", 2**8 - 16, seed=0)
+        emb = corollary_injective_hypercube(tree)
+        assert emb.guest.n == tree.n
+        assert emb.host.dimension == 8

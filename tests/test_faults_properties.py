@@ -1,0 +1,170 @@
+"""Fault injection and property-based tests of the network engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import theorem1_embedding
+from repro.networks import Grid2D, Hypercube, XTree
+from repro.simulate import (
+    Message,
+    SynchronousNetwork,
+    UnreachableError,
+    reduction_program,
+    simulate_on_host,
+    simulated_reduction,
+)
+from repro.trees import make_tree, theorem1_guest_size
+
+
+class TestFaultInjection:
+    def test_route_avoids_failed_link(self):
+        net = SynchronousNetwork(Grid2D(2, 3))
+        direct = net.route((0, 0), (0, 2))
+        net.fail_link((0, 1), (0, 2))
+        detour = net.route((0, 0), (0, 2))
+        assert frozenset(((0, 1), (0, 2))) not in {
+            frozenset(p) for p in zip(detour, detour[1:])
+        }
+        assert len(detour) >= len(direct)
+
+    def test_unreachable_raises(self):
+        net = SynchronousNetwork(Grid2D(1, 2))
+        net.fail_link((0, 0), (0, 1))
+        with pytest.raises(UnreachableError):
+            net.deliver([Message(0, (0, 0), (0, 1))])
+
+    def test_nonexistent_link_rejected(self):
+        net = SynchronousNetwork(Grid2D(2, 2))
+        with pytest.raises(ValueError, match="not a link"):
+            net.fail_link((0, 0), (1, 1))
+
+    def test_restore_link(self):
+        net = SynchronousNetwork(Grid2D(1, 3))
+        net.fail_link((0, 0), (0, 1))
+        net.restore_link((0, 0), (0, 1))
+        assert net.deliver([Message(0, (0, 0), (0, 2))]).cycles == 2
+
+    def test_constructor_failed_links(self):
+        net = SynchronousNetwork(Hypercube(3), failed_links=[(0, 1)])
+        path = net.route(0, 1)
+        assert len(path) - 1 == 3  # forced around: flip another bit twice
+
+    def test_xtree_survives_cross_edge_loss(self):
+        """Cross edges carry the dilation-3 guarantee; losing one degrades
+        latency gracefully, never correctness."""
+        tree = make_tree("random", theorem1_guest_size(3), seed=0)
+        emb = theorem1_embedding(tree).embedding
+        rng = random.Random(4)
+        vals = [rng.randrange(100) for _ in range(tree.n)]
+        healthy, healthy_cycles = simulated_reduction(emb, vals)
+
+        net = SynchronousNetwork(emb.host)
+        # fail every cross edge on the deepest level
+        width = 1 << 3
+        for i in range(width - 1):
+            net.fail_link((3, i), (3, i + 1))
+        # the tree edges alone still connect the X-tree: messages reroute
+        prog = reduction_program(tree)
+        total = 0
+        for step in prog.supersteps:
+            msgs = [
+                Message(i, emb.phi[s], emb.phi[d]) for i, (s, d) in enumerate(step)
+            ]
+            total += net.deliver(msgs).cycles
+        assert total >= healthy_cycles  # never faster without cross edges
+        assert healthy == sum(vals)
+
+    def test_degraded_network_still_computes(self):
+        """Payload answers are invariant under link failures (as long as the
+        network stays connected)."""
+        tree = make_tree("remy", 48, seed=1)
+        emb = theorem1_embedding(tree).embedding
+        vals = list(range(tree.n))
+        # recompute through a custom network with a failed cross edge is not
+        # plumbed through simulated_reduction; emulate by comparing whole
+        # embeddings instead: the identity check lives in the engine tests
+        result, _ = simulated_reduction(emb, vals)
+        assert result == sum(vals)
+
+
+class TestEngineProperties:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_everything_delivered_exactly_once(self, data):
+        dim = data.draw(st.integers(min_value=1, max_value=4))
+        q = Hypercube(dim)
+        n_msgs = data.draw(st.integers(min_value=0, max_value=20))
+        msgs = [
+            Message(
+                i,
+                data.draw(st.integers(min_value=0, max_value=q.n_nodes - 1)),
+                data.draw(st.integers(min_value=0, max_value=q.n_nodes - 1)),
+            )
+            for i in range(n_msgs)
+        ]
+        stats = SynchronousNetwork(q).deliver(msgs)
+        assert set(stats.delivery_cycle) == {m.msg_id for m in msgs}
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_delivery_cycle_at_least_distance(self, data):
+        q = Hypercube(4)
+        src = data.draw(st.integers(min_value=0, max_value=15))
+        dst = data.draw(st.integers(min_value=0, max_value=15))
+        extra = [
+            Message(i + 1, data.draw(st.integers(0, 15)), data.draw(st.integers(0, 15)))
+            for i in range(data.draw(st.integers(min_value=0, max_value=10)))
+        ]
+        stats = SynchronousNetwork(q).deliver([Message(0, src, dst), *extra])
+        assert stats.delivery_cycle[0] >= q.distance(src, dst)
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_capacity_relief_monotone(self, k):
+        """More link capacity never slows a fixed batch down."""
+        g = Grid2D(1, 4)
+        msgs = [Message(i, (0, 0), (0, 3)) for i in range(k)]
+        slow = SynchronousNetwork(g, link_capacity=1).deliver(msgs).cycles
+        fast = SynchronousNetwork(g, link_capacity=4).deliver(msgs).cycles
+        assert fast <= slow
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_link_traffic_conserves_hops(self, data):
+        """Total traffic across links equals the sum of route lengths."""
+        x = XTree(3)
+        net = SynchronousNetwork(x)
+        nodes = list(x.nodes())
+        msgs = []
+        expected = 0
+        for i in range(data.draw(st.integers(min_value=1, max_value=12))):
+            a = data.draw(st.sampled_from(nodes))
+            b = data.draw(st.sampled_from(nodes))
+            msgs.append(Message(i, a, b))
+            expected += len(net.route(a, b)) - 1
+        stats = net.deliver(msgs)
+        assert sum(stats.link_traffic.values()) == expected
+
+
+class TestBspFaultsIntegration:
+    def test_simulation_through_degraded_host_is_slower(self):
+        """End to end: a wave program on a host missing its cross edges."""
+        tree = make_tree("zigzag", theorem1_guest_size(3), seed=0)
+        emb = theorem1_embedding(tree).embedding
+        prog = reduction_program(tree)
+        healthy = simulate_on_host(prog, emb).total_cycles
+
+        net = SynchronousNetwork(emb.host)
+        for level in range(1, 4):
+            for i in range((1 << level) - 1):
+                net.fail_link((level, i), (level, i + 1))
+        degraded = 0
+        for step in prog.supersteps:
+            msgs = [Message(i, emb.phi[s], emb.phi[d]) for i, (s, d) in enumerate(step)]
+            degraded += net.deliver(msgs).cycles
+        assert degraded >= healthy

@@ -1,0 +1,129 @@
+"""Tree family generators: exact sizes, binary-ness, determinism, shape."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import (
+    FAMILIES,
+    broom_tree,
+    caterpillar_tree,
+    complete_binary_tree,
+    make_tree,
+    path_tree,
+    remy_tree,
+    skewed_tree,
+)
+
+
+class TestAllFamilies:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 16, 48, 113])
+    def test_exact_size_and_binary(self, family, n):
+        t = make_tree(family, n, seed=123)
+        assert t.n == n
+        assert all(len(t.children(v)) <= 2 for v in t.nodes())
+
+    def test_deterministic_per_seed(self, family):
+        a = make_tree(family, 77, seed=9)
+        b = make_tree(family, 77, seed=9)
+        assert a == b
+
+    def test_seed_changes_random_families(self):
+        for fam in ("random", "random_split", "remy", "skewed"):
+            a = make_tree(fam, 200, seed=1)
+            b = make_tree(fam, 200, seed=2)
+            assert a != b, fam
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown tree family"):
+            make_tree("nope", 10)
+
+    def test_rejects_nonpositive_n(self, family):
+        with pytest.raises(ValueError):
+            FAMILIES[family](0)
+
+
+class TestShapes:
+    def test_path_is_a_path(self):
+        t = path_tree(50)
+        assert t.height() == 49
+        assert all(len(t.children(v)) <= 1 for v in t.nodes())
+
+    def test_complete_is_complete(self):
+        t = complete_binary_tree(31)
+        assert t.is_complete()
+        assert t.height() == 4
+
+    def test_complete_truncated(self):
+        t = complete_binary_tree(10)
+        assert t.height() == 3
+
+    def test_caterpillar_spine_plus_legs(self):
+        t = caterpillar_tree(40)
+        # height about n/2: the spine
+        assert 15 <= t.height() <= 25
+        leaves = sum(1 for v in t.nodes() if t.is_leaf(v))
+        assert leaves >= 15  # legs are leaves
+
+    def test_skewed_is_deep(self):
+        t = skewed_tree(300, seed=0)
+        assert t.height() > complete_binary_tree(300).height() * 1.5
+
+    def test_broom_handle_and_brush(self):
+        t = broom_tree(100)
+        # the handle is a path of ~50, so depth >= 50
+        assert t.height() >= 50
+
+    def test_remy_full_when_odd(self):
+        t = remy_tree(41, seed=5)
+        # every internal node of a full tree has exactly 2 children
+        assert all(len(t.children(v)) in (0, 2) for v in t.nodes())
+
+    def test_remy_padded_when_even(self):
+        t = remy_tree(42, seed=5)
+        assert t.n == 42
+
+
+class TestRemyUniformityMoments:
+    """Statistical sanity: Remy's heights match the known sqrt scaling.
+
+    The expected height of a uniform binary tree with ~n nodes is
+    Theta(sqrt(n)) — far deeper than log(n) (random attachment) and far
+    shallower than n (path).  A coarse moment check guards against
+    implementing a biased sampler by accident.
+    """
+
+    def test_mean_height_scaling(self):
+        import statistics
+
+        n = 401
+        heights = [remy_tree(n, seed=s).height() for s in range(30)]
+        mean = statistics.fmean(heights)
+        # 2*sqrt(pi*n/4) ~ 35 for n=401; allow a generous band
+        assert 15 <= mean <= 70, mean
+
+    def test_random_attachment_is_shallower(self):
+        import statistics
+
+        n = 401
+        remy_mean = statistics.fmean(remy_tree(n, seed=s).height() for s in range(15))
+        rand_mean = statistics.fmean(
+            make_tree("random", n, seed=s).height() for s in range(15)
+        )
+        assert rand_mean < remy_mean
+
+
+class TestPropertyBased:
+    @given(
+        st.sampled_from(sorted(FAMILIES)),
+        st.integers(min_value=1, max_value=120),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_generator_contract(self, family, n, seed):
+        t = make_tree(family, n, seed=seed)
+        assert t.n == n
+        assert sum(1 for _ in t.edges()) == n - 1
+        assert all(len(t.children(v)) <= 2 for v in t.nodes())

@@ -1,0 +1,125 @@
+"""End-to-end integration: the full pipeline in one test each.
+
+These tests exercise the seams between subsystems the unit tests cover in
+isolation: generate -> embed -> verify -> serialise -> reload -> simulate
+-> compute, plus the theorem-composition chains.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    EmbedConfig,
+    UniversalGraph,
+    condition_3prime_defects,
+    embed_into_universal,
+    expand_to_injective,
+    injective_xtree_embedding,
+    load_embedding,
+    make_tree,
+    save_embedding,
+    spanning_defect,
+    theorem1_embedding,
+    theorem1_guest_size,
+    theorem3_embedding,
+    verify_theorem1,
+    xtree_to_hypercube_map,
+)
+from repro.networks import Hypercube
+from repro.simulate import (
+    prefix_sum_program,
+    simulate_on_host,
+    simulated_prefix,
+    simulated_reduction,
+)
+
+
+class TestFullPipeline:
+    def test_generate_embed_save_load_simulate_compute(self, tmp_path):
+        """The complete production workflow, asserting at every stage."""
+        r = 3
+        n = theorem1_guest_size(r)
+        tree = make_tree("random_split", n, seed=11)
+
+        # 1. embed (and verify the paper claim)
+        claim = verify_theorem1(tree)
+        assert claim.passed, claim
+        result = theorem1_embedding(tree, validate=True)
+        assert condition_3prime_defects(result.embedding) == []
+
+        # 2. serialise + reload
+        path = tmp_path / "p.json"
+        save_embedding(result.embedding, path)
+        emb = load_embedding(path)
+        assert emb.phi == result.embedding.phi
+
+        # 3. simulate a program (BSP and pipelined agree on delivery count)
+        prog = prefix_sum_program(emb.guest)
+        bsp = simulate_on_host(prog, emb)
+        pip = simulate_on_host(prog, emb, barrier=False)
+        assert bsp.n_messages == pip.n_messages == prog.n_messages
+        assert pip.total_cycles <= bsp.total_cycles
+
+        # 4. compute through the loaded placement
+        rng = random.Random(5)
+        vals = [rng.randrange(1000) for _ in range(emb.guest.n)]
+        total, _ = simulated_reduction(emb, vals)
+        assert total == sum(vals)
+        prefix, _ = simulated_prefix(emb, vals)
+        assert prefix[emb.guest.root] == 0
+
+    def test_theorem_chain_1_to_2_to_universal(self):
+        """Theorem 1 output feeds Theorem 2 and Theorem 4 consistently."""
+        t_par = 8
+        g = UniversalGraph(t_par)
+        tree = make_tree("remy", g.n_nodes, seed=2)
+        base = theorem1_embedding(tree)
+
+        inj = expand_to_injective(base)
+        assert inj.is_injective() and inj.dilation() <= 11
+
+        uni, base2 = embed_into_universal(tree, g)
+        assert spanning_defect(uni, g) == []
+        # the two runs of Theorem 1 on the same tree are identical
+        assert base.embedding.phi == base2.embedding.phi
+
+    def test_theorem_chain_1_to_3_composition_is_consistent(self):
+        """Theorem 3 == Theorem 1 composed with Lemma 3, vertex by vertex."""
+        from repro.trees import theorem3_guest_size
+
+        r = 4
+        tree = make_tree("random", theorem3_guest_size(r), seed=3)
+        emb3 = theorem3_embedding(tree)
+        base = theorem1_embedding(tree)
+        xmap = xtree_to_hypercube_map(r - 1)
+        manual = base.embedding.compose(xmap, Hypercube(r))
+        assert manual.phi == emb3.phi
+
+    def test_determinism_across_runs(self):
+        """The whole construction is deterministic: same input, same output."""
+        tree = make_tree("zigzag", theorem1_guest_size(4), seed=9)
+        a = theorem1_embedding(tree)
+        b = theorem1_embedding(tree)
+        assert a.embedding.phi == b.embedding.phi
+        assert a.history == b.history
+
+    def test_config_changes_output_but_not_feasibility(self):
+        tree = make_tree("path", theorem1_guest_size(4), seed=9)
+        default = theorem1_embedding(tree)
+        variant = theorem1_embedding(tree, config=EmbedConfig(neighbor_fill=True))
+        assert default.embedding.load_factor() == variant.embedding.load_factor() == 16
+        assert sorted(default.embedding.phi) == sorted(variant.embedding.phi)
+
+    @pytest.mark.parametrize("family", ["fibonacci", "broom", "zigzag"])
+    def test_new_families_through_everything(self, family):
+        tree = make_tree(family, theorem1_guest_size(3), seed=1)
+        result = theorem1_embedding(tree, validate=True)
+        assert result.embedding.dilation() <= 3
+        inj = injective_xtree_embedding(tree)
+        assert inj.is_injective()
+        vals = list(range(tree.n))
+        total, _ = simulated_reduction(result.embedding, vals)
+        assert total == sum(vals)

@@ -1,0 +1,171 @@
+"""Traversals, paths, LCA, heavy paths; induced forests and collinearity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import (
+    BinaryTree,
+    bfs_order,
+    components_after_removal,
+    euler_tour,
+    heavy_path,
+    is_collinear,
+    lca,
+    make_tree,
+    path_between,
+    postorder,
+)
+
+from strategies import binary_trees
+
+
+@pytest.fixture
+def sample():
+    #        0
+    #       / \
+    #      1   2
+    #     / \   \
+    #    3   4   5
+    #   /
+    #  6
+    return BinaryTree([-1, 0, 0, 1, 1, 2, 3])
+
+
+class TestTraversals:
+    def test_postorder_children_first(self, sample):
+        order = postorder(sample)
+        pos = {v: i for i, v in enumerate(order)}
+        for p, c in sample.edges():
+            assert pos[c] < pos[p]
+
+    def test_bfs_order_by_depth(self, sample):
+        order = bfs_order(sample)
+        depth = sample.depths()
+        for a, b in zip(order, order[1:]):
+            assert depth[a] <= depth[b]
+        assert sorted(order) == list(range(sample.n))
+
+    def test_euler_tour_edge_count(self, sample):
+        tour = euler_tour(sample)
+        # every edge walked twice: length = 2*(n-1) + 1
+        assert len(tour) == 2 * (sample.n - 1) + 1
+        assert tour[0] == tour[-1] == sample.root
+        for a, b in zip(tour, tour[1:]):
+            assert b in set(sample.neighbors(a))
+
+
+class TestPathsAndLca:
+    def test_path_between(self, sample):
+        assert path_between(sample, 6, 5) == [6, 3, 1, 0, 2, 5]
+        assert path_between(sample, 4, 4) == [4]
+        assert path_between(sample, 0, 6) == [0, 1, 3, 6]
+
+    def test_lca(self, sample):
+        assert lca(sample, 6, 4) == 1
+        assert lca(sample, 6, 5) == 0
+        assert lca(sample, 3, 6) == 3
+        assert lca(sample, 2, 2) == 2
+
+    @given(binary_trees(min_nodes=2, max_nodes=40), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_path_length_matches_distance(self, tree, data):
+        u = data.draw(st.integers(min_value=0, max_value=tree.n - 1))
+        v = data.draw(st.integers(min_value=0, max_value=tree.n - 1))
+        path = path_between(tree, u, v)
+        assert len(path) - 1 == tree.tree_distance(u, v)
+        assert path[0] == u and path[-1] == v
+
+
+class TestHeavyPath:
+    def test_walk_descends_to_leaf(self, sample):
+        path = heavy_path(sample)
+        assert path[0] == sample.root
+        assert sample.is_leaf(path[-1])
+        for a, b in zip(path, path[1:]):
+            assert b in sample.children(a)
+
+    def test_picks_larger_subtree(self):
+        t = make_tree("skewed", 100, seed=0)
+        sizes = t.subtree_sizes()
+        path = heavy_path(t)
+        for a, b in zip(path, path[1:]):
+            assert sizes[b] == max(sizes[c] for c in t.children(a))
+
+
+class TestForest:
+    def test_components_of_root_removal(self, sample):
+        comps = components_after_removal(sample, [0])
+        assert len(comps) == 2
+        by_size = sorted(comps, key=lambda c: c.size)
+        assert by_size[0].nodes == frozenset({2, 5})
+        assert by_size[1].nodes == frozenset({1, 3, 4, 6})
+        for c in comps:
+            assert c.n_attachment_edges == 1
+            assert all(outside == 0 for _, outside in c.attachments)
+
+    def test_designated_nodes(self, sample):
+        comps = components_after_removal(sample, [1])
+        comp_up = next(c for c in comps if 0 in c.nodes)
+        assert comp_up.designated == (0,)
+        comp3 = next(c for c in comps if 3 in c.nodes)
+        assert comp3.designated == (3,)
+
+    def test_within_universe(self, sample):
+        comps = components_after_removal(sample, [1], within={1, 3, 4, 6})
+        assert {c.nodes for c in comps} == {frozenset({3, 6}), frozenset({4})}
+        # edges to node 0 are outside the universe and must not count
+        for c in comps:
+            assert all(outside == 1 for _, outside in c.attachments)
+
+    def test_requires_removed_inside_universe(self, sample):
+        with pytest.raises(ValueError):
+            components_after_removal(sample, [0], within={1, 3})
+
+    def test_collinear(self, sample):
+        assert is_collinear(sample, [0])
+        assert is_collinear(sample, [1, 2])
+        # interval: removing the two endpoints of the path 3-1-0-2 leaves the
+        # middle segment attached by two edges -> still collinear (== 2)
+        assert is_collinear(sample, [3, 2])
+
+    @given(binary_trees(min_nodes=2, max_nodes=50), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_components_partition(self, tree, data):
+        k = data.draw(st.integers(min_value=1, max_value=min(5, tree.n)))
+        removed = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=tree.n - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        comps = components_after_removal(tree, removed)
+        all_nodes = set()
+        for c in comps:
+            assert not (c.nodes & all_nodes)
+            all_nodes |= c.nodes
+        assert all_nodes == set(tree.nodes()) - set(removed)
+        # each component is connected: BFS inside reaches all
+        for c in comps:
+            start = next(iter(c.nodes))
+            seen = {start}
+            stack = [start]
+            while stack:
+                v = stack.pop()
+                for u in tree.neighbors(v):
+                    if u in c.nodes and u not in seen:
+                        seen.add(u)
+                        stack.append(u)
+            assert seen == set(c.nodes)
+
+    def test_single_designated_single_attachment(self):
+        """Removing one node yields components with exactly one attachment
+        each (a tree has no cycles)."""
+        t = make_tree("random", 80, seed=3)
+        for v in (0, 5, 40):
+            for c in components_after_removal(t, [v]):
+                assert c.n_attachment_edges == 1

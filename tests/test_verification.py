@@ -1,0 +1,100 @@
+"""Claim verifiers: every paper claim passes at small scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    condition_3prime_defects,
+    theorem1_embedding,
+    verify_corollary_q8,
+    verify_figure1,
+    verify_figure2,
+    verify_inorder,
+    verify_lemma3,
+    verify_theorem1,
+    verify_theorem2,
+    verify_theorem3,
+    verify_theorem4,
+)
+from repro.trees import make_tree, theorem1_guest_size, theorem3_guest_size
+
+
+class TestClaimVerifiers:
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_theorem1(self, r):
+        rep = verify_theorem1(make_tree("random", theorem1_guest_size(r), seed=0))
+        assert rep.passed, rep
+
+    def test_theorem2(self):
+        rep = verify_theorem2(make_tree("remy", theorem1_guest_size(2), seed=0))
+        assert rep.passed, rep
+
+    def test_theorem3(self):
+        rep = verify_theorem3(make_tree("random", theorem3_guest_size(3), seed=0))
+        assert rep.passed, rep
+
+    def test_corollary(self):
+        rep = verify_corollary_q8(make_tree("random", 150, seed=0))
+        assert rep.passed, rep
+
+    def test_theorem4(self):
+        rep = verify_theorem4(7, seeds=(0,))
+        assert rep.passed, rep
+        assert rep.measured["degree"] <= 415
+
+    @pytest.mark.parametrize("r", [1, 3, 5])
+    def test_lemma3(self, r):
+        rep = verify_lemma3(r)
+        assert rep.passed, rep
+
+    @pytest.mark.parametrize("r", [1, 3, 5])
+    def test_inorder(self, r):
+        rep = verify_inorder(r)
+        assert rep.passed, rep
+
+    @pytest.mark.parametrize("r", [0, 1, 4, 7])
+    def test_figure1(self, r):
+        rep = verify_figure1(r)
+        assert rep.passed, rep
+
+    @pytest.mark.parametrize("r", [1, 4, 8])
+    def test_figure2(self, r):
+        rep = verify_figure2(r)
+        assert rep.passed, rep
+
+    def test_reports_are_printable(self):
+        rep = verify_figure1(3)
+        text = str(rep)
+        assert "PASS" in text and "Figure 1" in text
+
+
+class TestCondition3Prime:
+    def test_no_defects_default_config(self):
+        """With the final algorithm, condition (3') holds everywhere: every
+        guest edge's deeper image lies in N(shallower image)."""
+        for fam in ("random", "path", "caterpillar", "remy", "zigzag"):
+            for r in (2, 4, 5):
+                tree = make_tree(fam, theorem1_guest_size(r), seed=1)
+                result = theorem1_embedding(tree)
+                assert condition_3prime_defects(result.embedding) == []
+
+    def test_defects_require_xtree_host(self):
+        from repro.core import theorem3_embedding
+
+        emb = theorem3_embedding(make_tree("random", theorem3_guest_size(2), seed=0))
+        with pytest.raises(TypeError):
+            condition_3prime_defects(emb)
+
+    def test_defect_edges_really_violate(self):
+        """Run a deliberately weakened config to generate defects and check
+        the reported edges genuinely violate (3')."""
+        from repro.core.xtree_embed import EmbedConfig
+
+        weak = EmbedConfig(adjust_sigma_filter=False, neighbor_fill=True)
+        tree = make_tree("zigzag", theorem1_guest_size(5), seed=0)
+        result = theorem1_embedding(tree, config=weak)
+        host = result.embedding.host
+        for u, v, a, b in condition_3prime_defects(result.embedding):
+            assert b not in host.condition_neighborhood(a)
+            assert a[0] <= b[0]
