@@ -1,6 +1,7 @@
 """Aggregation, distance engines and table rendering for the experiments."""
 
 from .distances import all_pairs_distances, distance_histogram, eccentricities
+from .oracle import DistanceOracle, oracle_for
 from .metrics import (
     EmbeddingMetrics,
     collect_metrics,
@@ -14,6 +15,8 @@ __all__ = [
     "all_pairs_distances",
     "distance_histogram",
     "eccentricities",
+    "DistanceOracle",
+    "oracle_for",
     "EmbeddingMetrics",
     "collect_metrics",
     "dilation_histogram",

@@ -1,10 +1,13 @@
 """Distance computations over whole topologies, vectorised with numpy.
 
 The verification and benchmark layers need all-pairs or one-to-all
-distances on moderate-size networks; BFS per source into a dense numpy
-matrix is simple and fast enough (the HPC guide's rule: optimise the
-measured bottleneck, which here is Python-level pair loops — replaced by
-matrix lookups).
+distances on moderate-size networks.  The heavy lifting now lives in
+:mod:`repro.analysis.oracle`: a CSR adjacency built once per topology and a
+multi-source frontier-at-a-time BFS replace the former Python-level
+per-source loops (the HPC guide's rule: optimise the measured bottleneck —
+``benchmarks/bench_oracle.py`` tracks the speedup).  The legacy pure-Python
+engine is kept selectable for benchmarking and as an independent reference
+implementation for the tests.
 """
 
 from __future__ import annotations
@@ -12,16 +15,27 @@ from __future__ import annotations
 import numpy as np
 
 from ..networks.base import Topology
+from .oracle import oracle_for
 
 __all__ = ["all_pairs_distances", "distance_histogram", "eccentricities"]
 
 
-def all_pairs_distances(topology: Topology, dtype=np.int32) -> np.ndarray:
+def all_pairs_distances(topology: Topology, dtype=np.int32, *, engine: str = "oracle") -> np.ndarray:
     """Dense ``n x n`` matrix of hop distances, indexed canonically.
 
     ``D[i, j]`` is the distance between ``node_at(i)`` and ``node_at(j)``.
     Memory is ``n**2 * itemsize``; intended for ``n`` up to a few thousand.
+
+    ``engine`` selects the implementation: ``"oracle"`` (default) runs the
+    vectorised multi-source BFS of :class:`repro.analysis.oracle.
+    DistanceOracle`; ``"python"`` runs the legacy per-source Python BFS —
+    slower, but an oracle-independent reference the tests and the
+    ``bench_oracle`` old-vs-new comparison rely on.
     """
+    if engine == "oracle":
+        return oracle_for(topology).all_pairs(dtype=dtype)
+    if engine != "python":
+        raise ValueError(f"unknown engine {engine!r}; expected 'oracle' or 'python'")
     n = topology.n_nodes
     # adjacency as index lists, built once
     adj: list[list[int]] = [[] for _ in range(n)]

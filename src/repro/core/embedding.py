@@ -25,6 +25,8 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from ..networks.base import Topology, bfs_distances_from
 from ..trees.binary_tree import BinaryTree
 
@@ -65,6 +67,19 @@ class Embedding:
         self.guest = guest
         self.host = host
         self.phi = {v: phi[v] for v in guest.nodes()}
+        # Embeddings are frozen once constructed, so the host-index image of
+        # phi is compiled to arrays here and every derived metric
+        # (dilation values, routes, congestion) is memoised for the
+        # instance's lifetime.
+        index = host.index
+        self._image_idx = np.fromiter(
+            (index(self.phi[v]) for v in guest.nodes()), dtype=np.int64, count=guest.n
+        )
+        self._edge_list = list(guest.edges())
+        self._edge_nodes = np.asarray(self._edge_list, dtype=np.int64).reshape(-1, 2)
+        self._edge_dils: np.ndarray | None = None
+        self._route_dist_cache: dict[Any, dict[Any, Any]] = {}
+        self._link_load: Counter | None = None
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -91,28 +106,38 @@ class Embedding:
     # ------------------------------------------------------------------
     # Dilation
     # ------------------------------------------------------------------
-    def edge_dilations(self) -> dict[tuple[int, int], int]:
-        """Host distance of every guest edge's image.
+    def edge_dilation_values(self) -> np.ndarray:
+        """Host distance of every guest edge's image, as a read-only array.
 
-        Distinct guest edges often map to the same host pair, so distances
-        are computed once per distinct pair.  Distances start with a small
-        cutoff that doubles on demand: dilation is tiny for the paper's
-        embeddings, so most queries resolve within a 3-ball.
+        Aligned with ``guest.edges()`` order.  The image indices were
+        compiled to arrays at construction, so the whole computation is one
+        gather plus one batched call into the shared
+        :class:`repro.analysis.oracle.DistanceOracle` — closed-form
+        arithmetic where the host has it, grouped BFS rows otherwise.
+        Memoised (embeddings are frozen).
         """
-        pair_edges: dict[tuple[Any, Any], list[tuple[int, int]]] = {}
-        for u, v in self.guest.edges():
-            a, b = self.phi[u], self.phi[v]
-            if self.host.index(a) > self.host.index(b):
-                a, b = b, a
-            pair_edges.setdefault((a, b), []).append((u, v))
-        out: dict[tuple[int, int], int] = {}
-        for (a, b), edges in pair_edges.items():
-            d = self._distance(a, b)
-            for e in edges:
-                out[e] = d
-        return out
+        if self._edge_dils is None:
+            from ..analysis.oracle import oracle_for  # deferred: analysis imports core
+
+            pairs = self._image_idx[self._edge_nodes]
+            dists = oracle_for(self.host).pairs_distances(pairs)
+            if dists.size and int(dists.min()) < 0:  # disconnected host: bug
+                raise RuntimeError("no path between mapped host nodes")
+            dists.setflags(write=False)
+            self._edge_dils = dists
+        return self._edge_dils
+
+    def edge_dilations(self) -> dict[tuple[int, int], int]:
+        """Host distance of every guest edge's image, keyed by guest edge."""
+        return dict(zip(self._edge_list, self.edge_dilation_values().tolist()))
 
     def _distance(self, a: Any, b: Any) -> int:
+        """Per-pair host distance with a doubling cutoff.
+
+        Superseded by the batched oracle path of :meth:`edge_dilations`;
+        kept as the scalar fallback (``benchmarks/bench_oracle.py`` times
+        the oracle against the original pure-BFS variant of this loop).
+        """
         cutoff = 4
         while True:
             d = self.host.distance(a, b, cutoff=cutoff)
@@ -124,43 +149,58 @@ class Embedding:
 
     def dilation(self) -> int:
         """Maximum edge dilation (0 for a single-node guest)."""
-        dil = self.edge_dilations()
-        return max(dil.values(), default=0)
+        values = self.edge_dilation_values()
+        return int(values.max()) if values.size else 0
 
     def max_dilation_edge(self) -> tuple[tuple[int, int], int] | None:
         """The guest edge realising the dilation, for diagnostics."""
-        dil = self.edge_dilations()
-        if not dil:
+        values = self.edge_dilation_values()
+        if not values.size:
             return None
-        edge = max(dil, key=dil.get)  # type: ignore[arg-type]
-        return edge, dil[edge]
+        at = int(values.argmax())
+        return self._edge_list[at], int(values[at])
 
     # ------------------------------------------------------------------
     # Congestion (shortest-path routing)
     # ------------------------------------------------------------------
-    def edge_congestion(self) -> int:
-        """Max, over host links, of guest edges routed through that link.
+    def link_load(self) -> Counter:
+        """Guest edges routed through each host link (canonically ordered).
 
         Routes are deterministic shortest paths (lexicographically smallest
         next hop by host index), matching the simulator's router so that the
-        metric predicts simulated contention.
+        metric predicts simulated contention.  Keys are host node pairs
+        ``(a, b)`` with ``index(a) < index(b)``; the full Counter feeds the
+        analysis tables.  Embeddings are frozen, so both the per-destination
+        distance tables and the resulting Counter are memoised on the
+        instance — repeated congestion queries are O(1).
         """
-        link_use: Counter = Counter()
-        cache: dict[Any, dict[Any, Any]] = {}
-        for u, v in self.guest.edges():
-            a, b = self.phi[u], self.phi[v]
-            for x, y in self._route(a, b, cache):
-                key = (x, y) if self.host.index(x) < self.host.index(y) else (y, x)
-                link_use[key] += 1
-        return max(link_use.values(), default=0)
+        if self._link_load is None:
+            link_use: Counter = Counter()
+            for u, v in self.guest.edges():
+                a, b = self.phi[u], self.phi[v]
+                for x, y in self._route(a, b):
+                    key = (x, y) if self.host.index(x) < self.host.index(y) else (y, x)
+                    link_use[key] += 1
+            self._link_load = link_use
+        return self._link_load
 
-    def _route(self, a: Any, b: Any, cache: dict) -> list[tuple[Any, Any]]:
-        """Deterministic shortest path from ``a`` to ``b`` as a link list."""
+    def edge_congestion(self) -> int:
+        """Max, over host links, of guest edges routed through that link."""
+        return max(self.link_load().values(), default=0)
+
+    def _route(self, a: Any, b: Any) -> list[tuple[Any, Any]]:
+        """Deterministic shortest path from ``a`` to ``b`` as a link list.
+
+        Per-destination BFS tables are memoised on the instance (the
+        embedding never changes), so routing all guest edges costs one BFS
+        per distinct destination, ever.
+        """
         if a == b:
             return []
-        if b not in cache:
-            cache[b] = bfs_distances_from(self.host.neighbors, b)
-        dist_to_b = cache[b]
+        dist_to_b = self._route_dist_cache.get(b)
+        if dist_to_b is None:
+            dist_to_b = bfs_distances_from(self.host.neighbors, b)
+            self._route_dist_cache[b] = dist_to_b
         links = []
         cur = a
         while cur != b:
@@ -186,16 +226,17 @@ class Embedding:
 
     def report(self) -> EmbeddingReport:
         """Compute every quality measure at once."""
-        dil = self.edge_dilations()
-        hist = Counter(dil.values())
+        values = self.edge_dilation_values()
+        uniq, counts = np.unique(values, return_counts=True)
+        hist = dict(zip(uniq.tolist(), counts.tolist()))
         return EmbeddingReport(
             n_guest=self.guest.n,
             n_host=self.host.n_nodes,
-            dilation=max(dil.values(), default=0),
+            dilation=int(values.max()) if values.size else 0,
             load_factor=self.load_factor(),
             expansion=self.expansion(),
             injective=self.load_factor() == 1,
-            edge_dilation_histogram=dict(sorted(hist.items())),
+            edge_dilation_histogram=hist,  # np.unique output is already sorted
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

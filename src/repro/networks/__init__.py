@@ -22,6 +22,42 @@ from .xtree import (
     xtree_size,
 )
 
+#: Registry of every host topology, keyed by its ``Topology.name``.  The
+#: oracle tests and benchmark harness sweep over this to prove properties on
+#: the whole library at once.
+TOPOLOGIES: dict[str, type[Topology]] = {
+    cls.name: cls
+    for cls in (
+        XTree,
+        Hypercube,
+        CompleteBinaryTreeNet,
+        Grid2D,
+        CubeConnectedCycles,
+        Butterfly,
+        ShuffleExchange,
+        DeBruijn,
+    )
+}
+
+
+def registry_instances(scale: int = 3) -> dict[str, Topology]:
+    """One representative instance per registered topology.
+
+    ``scale`` steers the size class (height/dimension); grids get a
+    rectangular shape so row/column asymmetries are exercised.
+    """
+    return {
+        "xtree": XTree(scale),
+        "hypercube": Hypercube(scale),
+        "complete-binary-tree": CompleteBinaryTreeNet(scale),
+        "grid2d": Grid2D(scale, scale + 2),
+        "ccc": CubeConnectedCycles(scale),
+        "butterfly": Butterfly(scale),
+        "shuffle-exchange": ShuffleExchange(scale + 1),
+        "debruijn": DeBruijn(scale + 1),
+    }
+
+
 __all__ = [
     "Topology",
     "bfs_distance",
@@ -40,4 +76,6 @@ __all__ = [
     "Grid2D",
     "ShuffleExchange",
     "DeBruijn",
+    "TOPOLOGIES",
+    "registry_instances",
 ]

@@ -34,7 +34,7 @@ def bfs_distance(
     """Exact unweighted distance from ``source`` to ``target``.
 
     ``neighbors`` is a callable returning an iterable of adjacent nodes.
-    Searches bidirectionally is not needed for our graph sizes; plain BFS with
+    Bidirectional search is not needed for our graph sizes; plain BFS with
     an optional ``cutoff`` (return ``None`` when the target is farther than
     ``cutoff``) is simple and fast enough, and the cutoff makes dilation
     verification cheap: checking "distance <= 3" explores a ball of at most
@@ -138,9 +138,27 @@ class Topology(ABC):
     def distance(self, u: Node, v: Node, cutoff: int | None = None) -> int | None:
         """Exact hop distance between ``u`` and ``v``.
 
-        Returns ``None`` if ``cutoff`` is given and the distance exceeds it.
+        Cutoff semantics (binding on every override): with ``cutoff=None``
+        the exact distance is always returned.  With a cutoff ``c >= 0`` the
+        result is the exact distance ``d`` whenever ``d <= c`` — a distance
+        *equal* to the cutoff is still returned — and ``None`` whenever
+        ``d > c`` (including unreachable ``v``, treated as ``d = inf``).
+        The cutoff is a contract about the return value only; subclasses
+        with closed-form formulas (X-tree, hypercube, grid, butterfly, CCC,
+        shuffle-exchange, complete binary tree) may ignore it for pruning
+        and simply compare at the end.  The BFS default explores the ball
+        of radius ``c`` around ``u`` and stops there.
         """
         return bfs_distance(self.neighbors, u, v, cutoff=cutoff)
+
+    @property
+    def has_closed_form_distance(self) -> bool:
+        """True when :meth:`distance` is overridden with a closed form.
+
+        The :class:`repro.analysis.oracle.DistanceOracle` uses this to pick
+        between per-pair arithmetic and batched BFS rows.
+        """
+        return type(self).distance is not Topology.distance
 
     def distances_from(self, source: Node) -> dict[Node, int]:
         """Distances from ``source`` to every node."""

@@ -68,5 +68,39 @@ class Butterfly(Topology):
         if not (0 <= level <= self.dimension and 0 <= w < self._rows):
             raise ValueError(f"{node!r} is not a vertex of BF({self.dimension})")
 
+    def distance(self, u: BFNode, v: BFNode, cutoff: int | None = None) -> int | None:
+        """Exact hop distance, in closed form (no BFS).
+
+        Bit ``i`` of the row label can only change while crossing the level
+        boundary ``i <-> i+1`` (the cross edge there flips it; the straight
+        edge keeps it).  A path is therefore a walk on the level line
+        ``0..d`` from ``lu`` to ``lv`` that crosses boundary ``i`` at least
+        once for every differing bit ``i`` — and any such walk suffices,
+        since each crossing freely chooses straight or cross.  The shortest
+        walk touches ``lo = min(diff)`` and ``hi = max(diff) + 1`` (plus the
+        endpoints) and reverses at most once, giving::
+
+            d = (B - A) + min((lu - A) + (B - lv), (B - lu) + (lv - A))
+
+        with ``A = min(lu, lv, lo)`` and ``B = max(lu, lv, hi + 1)``.
+        Proven equal to BFS on all pairs by the test suite.
+        """
+        lu, wu = u
+        lv, wv = v
+        self._check(u)
+        self._check(v)
+        diff = wu ^ wv
+        if diff == 0:
+            d = abs(lu - lv)
+        else:
+            lo = (diff & -diff).bit_length() - 1  # lowest differing bit
+            hi = diff.bit_length()  # highest differing bit, plus one
+            a = min(lu, lv, lo)
+            b = max(lu, lv, hi)
+            d = (b - a) + min((lu - a) + (b - lv), (b - lu) + (lv - a))
+        if cutoff is not None and d > cutoff:
+            return None
+        return d
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Butterfly(dimension={self.dimension})"

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from ._cyclic import min_cycle_cover_walk
 from .base import Topology
 
 __all__ = ["CubeConnectedCycles"]
@@ -68,6 +69,28 @@ class CubeConnectedCycles(Topology):
         w, i = node
         if not (0 <= w < (1 << self.dimension) and 0 <= i < self.dimension):
             raise ValueError(f"{node!r} is not a vertex of CCC({self.dimension})")
+
+    def distance(self, u: CCCNode, v: CCCNode, cutoff: int | None = None) -> int | None:
+        """Exact hop distance, in closed form (no BFS).
+
+        A hypercube edge fixes bit ``i`` only while the cursor sits at cycle
+        position ``i`` (cost 1 per differing bit), and cycle edges move the
+        cursor by one.  A shortest path is therefore ``popcount(wu ^ wv)``
+        flips plus a minimum covering walk of the cursor from ``iu`` to
+        ``iv`` visiting every differing bit position
+        (:func:`repro.networks._cyclic.min_cycle_cover_walk`).  Proven equal
+        to BFS on all pairs by the test suite.
+        """
+        wu, iu = u
+        wv, iv = v
+        self._check(u)
+        self._check(v)
+        diff = wu ^ wv
+        required = [p for p in range(self.dimension) if diff >> p & 1]
+        d = len(required) + min_cycle_cover_walk(self.dimension, iu, iv, required)
+        if cutoff is not None and d > cutoff:
+            return None
+        return d
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CubeConnectedCycles(dimension={self.dimension})"

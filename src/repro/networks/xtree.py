@@ -134,6 +134,51 @@ class XTree(Topology):
         level = (i + 1).bit_length() - 1
         return (level, i - ((1 << level) - 1))
 
+    def distance(self, u: XAddr, v: XAddr, cutoff: int | None = None) -> int | None:
+        """Exact hop distance, in closed form (no BFS).
+
+        The formula minimises over the *meeting level* ``m``::
+
+            d(u, v) = min_{0 <= m <= min(lu, lv)}
+                        (lu - m) + (lv - m) + |iu >> (lu - m)  -  iv >> (lv - m)|
+
+        Each candidate is realised by an actual path — ascend ``u`` to its
+        level-``m`` ancestor, walk the level-``m`` path, descend to ``v`` —
+        and no path can beat the minimum: project every vertex of a path
+        onto its level-``m`` ancestor, where ``m`` is the shallowest level
+        the path visits.  Tree moves keep the projection fixed
+        (``(i >> 1) >> (l-1-m) == i >> (l-m)``), and a horizontal move at
+        any level shifts it by at most one, so a path needs at least
+        ``(lu-m) + (lv-m)`` vertical and ``|iu>>(lu-m) - iv>>(lv-m)|``
+        horizontal moves.  The test suite additionally proves equality with
+        BFS on every pair of every X(r), r <= 5.
+        """
+        lu, iu = u
+        lv, iv = v
+        self._check(u)
+        self._check(v)
+        vertical = abs(lu - lv)
+        # Start at the deeper node's projection onto the shallower level.
+        if lu >= lv:
+            iu >>= vertical
+            lu = lv
+        else:
+            iv >>= vertical
+            lv = lu
+        best = vertical + abs(iu - iv)
+        climb = vertical
+        while lu > 0 and climb + 2 < best:
+            iu >>= 1
+            iv >>= 1
+            lu -= 1
+            climb += 2
+            cand = climb + abs(iu - iv)
+            if cand < best:
+                best = cand
+        if cutoff is not None and best > cutoff:
+            return None
+        return best
+
     # ------------------------------------------------------------------
     # Structure helpers
     # ------------------------------------------------------------------

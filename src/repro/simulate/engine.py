@@ -63,8 +63,11 @@ class SynchronousNetwork:
     ``failed_links`` marks bidirectional links as down: routing avoids
     them, and delivery raises :class:`UnreachableError` when a destination
     is cut off.  Links can also be failed mid-simulation with
-    :meth:`fail_link` (routing tables are rebuilt lazily) — the fault
-    injection hook the test suite exercises.
+    :meth:`fail_link` / healed with :meth:`heal_link` — the fault injection
+    hooks the test suite exercises.  Per-destination routing tables are
+    built lazily and invalidated *incrementally*: a link event drops only
+    the tables it can actually stale (see :meth:`_invalidate`), so long
+    fail/heal sequences keep most of the routing cache warm.
     """
 
     def __init__(
@@ -78,9 +81,9 @@ class SynchronousNetwork:
         self.topology = topology
         self.link_capacity = link_capacity
         self.failed: set[frozenset] = set()
+        self._dist_to: dict[Node, dict[Node, int]] = {}
         for u, v in failed_links or ():
             self.fail_link(u, v)
-        self._dist_to: dict[Node, dict[Node, int]] = {}
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -88,18 +91,71 @@ class SynchronousNetwork:
     def fail_link(self, u: Node, v: Node) -> None:
         """Take the (bidirectional) link ``{u, v}`` down.
 
-        Must name an actual topology edge; clears the routing caches so
-        in-flight simulations re-route on the next call.
+        Must name an actual topology edge.  Routing tables are invalidated
+        *incrementally*: only destinations whose cached distances actually
+        change are dropped (see :meth:`_invalidate`); every other table
+        stays exact, so unrelated traffic keeps its warm caches across
+        faults.
         """
         if v not in set(self.topology.neighbors(u)):
             raise ValueError(f"{u!r} -- {v!r} is not a link of {self.topology.name}")
         self.failed.add(frozenset((u, v)))
-        self._dist_to = {}
+        self._invalidate(u, v, healed=False)
 
     def restore_link(self, u: Node, v: Node) -> None:
-        """Bring a previously failed link back up."""
+        """Bring a previously failed link back up.
+
+        Tables are dropped only where the revived link creates a shorter
+        route: when exactly one endpoint was reachable, or the cached
+        distances differ by two or more.  Tables the link cannot improve
+        (``|dist(u) - dist(v)| <= 1``) are kept.
+        """
         self.failed.discard(frozenset((u, v)))
-        self._dist_to = {}
+        self._invalidate(u, v, healed=True)
+
+    #: alias: fault-injection scripts read ``fail_link`` / ``heal_link``
+    heal_link = restore_link
+
+    def _invalidate(self, u: Node, v: Node, *, healed: bool) -> None:
+        """Drop exactly the cached distance tables the link change stales.
+
+        A table for destination ``dst`` maps reachable nodes to exact
+        distances over the live links.  The checks below are exact — a
+        table is dropped if and only if some distance in it changed:
+
+        * **fail**: removing ``{u, v}`` changes a distance iff the farther
+          endpoint loses its *only* predecessor towards ``dst`` — i.e.
+          ``|d(u) - d(v)| == 1`` and the farther endpoint has no other live
+          neighbour at the nearer distance (otherwise every shortest path
+          through the link reroutes at equal length, so the whole table
+          survives).  In bipartite hosts (grid, hypercube) every edge
+          satisfies the distance-gap test for every destination, so the
+          alternative-predecessor test is what keeps caches warm there.
+        * **heal**: adding ``{u, v}`` changes a distance iff it reconnects
+          (exactly one endpoint reachable) or shortcuts
+          (``|d(u) - d(v)| >= 2``); a gap of at most 1 cannot shorten any
+          path, and a link between two unreachable nodes stays invisible.
+
+        The equivalence with a full rebuild is property-tested under
+        randomised fail/heal sequences.
+        """
+        stale = []
+        for dst, table in self._dist_to.items():
+            du = table.get(u)
+            dv = table.get(v)
+            if healed:
+                if (du is None) != (dv is None) or (
+                    du is not None and dv is not None and abs(du - dv) >= 2
+                ):
+                    stale.append(dst)
+            else:
+                if du is None or dv is None or abs(du - dv) != 1:
+                    continue  # not on any shortest path towards dst
+                far, near_dist = (u, dv) if du > dv else (v, du)
+                if not any(table.get(w) == near_dist for w in self.live_neighbors(far)):
+                    stale.append(dst)
+        for dst in stale:
+            del self._dist_to[dst]
 
     def live_neighbors(self, node: Node):
         """The topology's neighbours reachable over non-failed links."""

@@ -99,6 +99,24 @@ class TestCongestion:
         emb = Embedding(tree, host, {v: host.node_at(v) for v in tree.nodes()})
         assert emb.edge_congestion() == 1
 
+    def test_link_load_full_counter(self):
+        tree = BinaryTree([-1, 0, 0, 1])
+        host = CompleteBinaryTreeNet(1)
+        phi = {0: (0, 0), 1: (1, 0), 2: (1, 0), 3: (0, 0)}
+        emb = Embedding(tree, host, phi)
+        load = emb.link_load()
+        # keys are canonically ordered host links; totals match the routes
+        assert load[((0, 0), (1, 0))] == 3
+        assert all(host.index(a) < host.index(b) for a, b in load)
+        assert sum(load.values()) == sum(emb.edge_dilations().values())
+        assert emb.edge_congestion() == max(load.values())
+
+    def test_link_load_is_memoised(self):
+        tree = complete_binary_tree(7)
+        host = CompleteBinaryTreeNet(2)
+        emb = Embedding(tree, host, {v: host.node_at(v) for v in tree.nodes()})
+        assert emb.link_load() is emb.link_load()
+
 
 class TestCompose:
     def test_compose_with_identity(self):

@@ -1,0 +1,142 @@
+"""Incremental routing-cache invalidation == full rebuild, under faults.
+
+``SynchronousNetwork`` drops a cached per-destination distance table only
+when a failed/healed link can actually stale it.  These tests drive
+randomised fail/heal sequences — with live route queries in between, so
+stale tables would actually be observed — and compare every outcome
+against a from-scratch network with the same failed-link set.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import Grid2D, Hypercube, XTree
+from repro.simulate import Message, SynchronousNetwork, UnreachableError
+
+TOPOLOGY_FACTORIES = [
+    lambda: Grid2D(3, 4),
+    lambda: XTree(3),
+    lambda: Hypercube(3),
+]
+
+
+def _fresh_equivalent(net: SynchronousNetwork) -> SynchronousNetwork:
+    """A cold network with the same topology and failed-link set."""
+    return SynchronousNetwork(
+        net.topology, link_capacity=net.link_capacity, failed_links=[tuple(f) for f in net.failed]
+    )
+
+
+def _assert_routing_equivalent(net, fresh, queries):
+    for src, dst in queries:
+        if src == dst:
+            continue
+        try:
+            expected = fresh.route(src, dst)
+        except UnreachableError:
+            with pytest.raises(UnreachableError):
+                net.route(src, dst)
+            continue
+        assert net.route(src, dst) == expected, (src, dst, sorted(map(sorted, net.failed)))
+        # the cached table itself must be exact, not merely route-compatible
+        assert net._dist_table(dst) == fresh._dist_table(dst)
+
+
+@pytest.mark.parametrize("make_topology", TOPOLOGY_FACTORIES)
+@pytest.mark.parametrize("seed", range(6))
+def test_randomised_fail_heal_matches_full_rebuild(make_topology, seed):
+    topology = make_topology()
+    net = SynchronousNetwork(topology)
+    rng = random.Random(seed)
+    edges = [tuple(e) for e in topology.edges()]
+    nodes = list(topology.nodes())
+
+    # warm every destination's table first, so later events must invalidate
+    for dst in nodes:
+        net._dist_table(dst)
+
+    for _ in range(30):
+        u, v = rng.choice(edges)
+        if frozenset((u, v)) in net.failed:
+            (net.heal_link if rng.random() < 0.8 else net.fail_link)(u, v)
+        elif rng.random() < 0.6:
+            net.fail_link(u, v)
+        else:
+            net.heal_link(u, v)  # heal of a live link: must be a no-op
+        queries = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(6)]
+        _assert_routing_equivalent(net, _fresh_equivalent(net), queries)
+
+
+@pytest.mark.parametrize("make_topology", TOPOLOGY_FACTORIES)
+def test_incremental_invalidation_keeps_unaffected_tables(make_topology):
+    """The point of the optimisation: a fault far from a destination keeps
+    that destination's warm table object alive (no gratuitous rebuild)."""
+    topology = make_topology()
+    net = SynchronousNetwork(topology)
+    for dst in topology.nodes():
+        net._dist_table(dst)
+    warm = dict(net._dist_to)
+    u, v = next(iter(topology.edges()))
+    net.fail_link(u, v)
+    kept = sum(1 for dst, table in net._dist_to.items() if warm.get(dst) is table)
+    assert kept > 0  # some tables survived verbatim
+    # ... and all surviving tables are still exact
+    fresh = _fresh_equivalent(net)
+    for dst in net._dist_to:
+        assert net._dist_table(dst) == fresh._dist_table(dst)
+
+
+def test_unreachable_error_after_partition_and_recovery():
+    net = SynchronousNetwork(Grid2D(1, 3))
+    net.route((0, 0), (0, 2))  # warm the cache
+    net.fail_link((0, 0), (0, 1))
+    with pytest.raises(UnreachableError):
+        net.deliver([Message(0, (0, 0), (0, 2))])
+    net.heal_link((0, 0), (0, 1))
+    assert net.deliver([Message(1, (0, 0), (0, 2))]).cycles == 2
+    # partition the other side; tables cached for (0,0) must not leak back
+    net.fail_link((0, 1), (0, 2))
+    with pytest.raises(UnreachableError):
+        net.route((0, 0), (0, 2))
+    net.heal_link((0, 1), (0, 2))
+    assert net.route((0, 0), (0, 2)) == [(0, 0), (0, 1), (0, 2)]
+
+
+def test_heal_link_is_restore_link():
+    net = SynchronousNetwork(Grid2D(2, 2))
+    assert net.heal_link.__func__ is net.restore_link.__func__
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_property_fail_heal_delivery_parity(data):
+    """Message delivery through an incrementally-invalidated network equals
+    delivery through a cold rebuild, for arbitrary fault scripts."""
+    q = Hypercube(3)
+    net = SynchronousNetwork(q)
+    edges = [tuple(e) for e in q.edges()]
+    for _ in range(data.draw(st.integers(0, 10))):
+        u, v = data.draw(st.sampled_from(edges))
+        if frozenset((u, v)) in net.failed:
+            net.heal_link(u, v)
+        else:
+            net.fail_link(u, v)
+        src = data.draw(st.integers(0, 7))
+        dst = data.draw(st.integers(0, 7))
+        if src == dst:
+            continue
+        fresh = _fresh_equivalent(net)
+        try:
+            expected = fresh.deliver([Message(0, src, dst)])
+        except UnreachableError:
+            with pytest.raises(UnreachableError):
+                net.deliver([Message(0, src, dst)])
+            continue
+        got = net.deliver([Message(0, src, dst)])
+        assert got.delivery_cycle == expected.delivery_cycle
+        assert got.link_traffic == expected.link_traffic
