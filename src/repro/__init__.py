@@ -87,6 +87,7 @@ from .networks import (
     xtree_optimal_height,
     xtree_size,
 )
+from .obs import NullRecorder, Recorder, TraceRecorder, span, span_summary
 from .simulate import (
     PROGRAMS,
     ExecutionStats,
@@ -187,4 +188,10 @@ __all__ = [
     "simulate_on_host",
     "simulate_on_guest",
     "ExecutionStats",
+    # observability
+    "Recorder",
+    "NullRecorder",
+    "TraceRecorder",
+    "span",
+    "span_summary",
 ]

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..networks.base import Topology
 from ..networks.binary_tree_net import CompleteBinaryTreeNet
+from ..obs import counter_inc, span
 from ..networks.grid import Grid2D
 from ..networks.hypercube import Hypercube
 from ..networks.xtree import XTree
@@ -113,6 +114,10 @@ class DistanceOracle:
         self._row_cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self._row_cache_size = row_cache_size
         self._closed_form = topology.has_closed_form_distance
+        #: lifetime row-cache hit/miss counts (also mirrored into the
+        #: process-wide ``repro.obs`` counters ``oracle.row_cache.*``)
+        self.row_cache_hits = 0
+        self.row_cache_misses = 0
 
     # ------------------------------------------------------------------
     # BFS engines
@@ -154,6 +159,10 @@ class DistanceOracle:
 
     def _bfs_rows(self, sources: np.ndarray) -> np.ndarray:
         """Frontier-at-a-time BFS from every source at once -> ``(k, n)``."""
+        with span("oracle.bfs_rows", sources=int(sources.size), n=self.n):
+            return self._bfs_rows_inner(sources)
+
+    def _bfs_rows_inner(self, sources: np.ndarray) -> np.ndarray:
         k = sources.size
         n = self.n
         dist = np.full((k, n), -1, dtype=np.int32)
@@ -187,6 +196,11 @@ class DistanceOracle:
         row = self._row_cache.get(src)
         if row is not None:
             self._row_cache.move_to_end(src)
+            self.row_cache_hits += 1
+            counter_inc("oracle.row_cache.hit")
+        else:
+            self.row_cache_misses += 1
+            counter_inc("oracle.row_cache.miss")
         return row
 
     def _cache_put(self, src: int, row: np.ndarray) -> None:
@@ -200,6 +214,15 @@ class DistanceOracle:
     def cached_rows(self) -> int:
         """Number of one-to-all rows currently memoised."""
         return len(self._row_cache)
+
+    def cache_info(self) -> dict[str, int]:
+        """Row-cache statistics: hits, misses, current size, capacity."""
+        return {
+            "hits": self.row_cache_hits,
+            "misses": self.row_cache_misses,
+            "rows": len(self._row_cache),
+            "capacity": self._row_cache_size,
+        }
 
     # ------------------------------------------------------------------
     # Batched pair queries

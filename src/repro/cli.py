@@ -7,7 +7,9 @@ Subcommands
 ``verify``  run every paper-claim verifier at a chosen size and print the
             paper-vs-measured table.
 ``simulate`` run a tree program on the X-tree through the embedding and
-            report cycles and slowdown.
+            report cycles and slowdown; ``--trace PATH`` exports a JSONL
+            event/metrics trace, ``--metrics`` prints per-cycle metrics,
+            timing spans and counters (see ``repro.obs``).
 """
 
 from __future__ import annotations
@@ -88,14 +90,20 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from .obs import NullRecorder, TraceRecorder
+
     n, tree = _make_tree(args)
     result = theorem1_embedding(tree)
     rows = []
     names = [args.program] if args.program else sorted(PROGRAMS)
+    observing = bool(args.trace or args.metrics)
+    recorder = TraceRecorder() if observing else NullRecorder()
     for name in names:
         prog = PROGRAMS[name](tree)
         guest = simulate_on_guest(prog)
-        host = simulate_on_host(prog, result.embedding, link_capacity=args.link_capacity)
+        host = simulate_on_host(
+            prog, result.embedding, link_capacity=args.link_capacity, recorder=recorder
+        )
         rows.append(
             [
                 name,
@@ -107,6 +115,19 @@ def _cmd_simulate(args) -> int:
         )
     print(f"guest: {args.family} tree, n={n}; host: X({args.height}); link capacity {args.link_capacity}")
     print(markdown_table(["program", "messages", "guest cycles", "host cycles", "slowdown"], rows))
+    if args.trace:
+        try:
+            recorder.to_jsonl(args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote trace: {args.trace} ({len(recorder.events)} events, "
+              f"{len(recorder.cycles)} cycle samples)")
+    if args.metrics:
+        from .analysis.trace_report import metrics_report
+
+        print()
+        print(metrics_report(recorder))
     return 0
 
 
@@ -179,6 +200,9 @@ def main(argv: list[str] | None = None) -> int:
     _add_tree_args(p_sim)
     p_sim.add_argument("--program", choices=sorted(PROGRAMS), help="single program (default: all)")
     p_sim.add_argument("--link-capacity", type=int, default=1, help="messages per link direction per cycle")
+    p_sim.add_argument("--trace", metavar="PATH", help="record the host simulation and write a JSONL trace")
+    p_sim.add_argument("--metrics", action="store_true",
+                       help="print per-cycle metrics, timing spans and counters")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_online = sub.add_parser("online", help="grow the tree node-by-node (tree machine)")

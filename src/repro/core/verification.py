@@ -16,6 +16,7 @@ from typing import Any
 import numpy as np
 
 from ..networks.hypercube import hamming_distance
+from ..obs import timed
 from ..networks.xtree import XAddr, XTree
 from ..trees.binary_tree import BinaryTree
 from .embedding import Embedding
@@ -60,6 +61,7 @@ class ClaimReport:
         return f"[{status}] {self.claim}: bound={self.bound} measured={self.measured} {self.notes}"
 
 
+@timed("verify.theorem1")
 def verify_theorem1(tree: BinaryTree, *, validate: bool = False) -> ClaimReport:
     """Theorem 1: dilation 3, load 16, optimal expansion into X(r)."""
     result = theorem1_embedding(tree, validate=validate)
@@ -82,6 +84,7 @@ def verify_theorem1(tree: BinaryTree, *, validate: bool = False) -> ClaimReport:
     )
 
 
+@timed("verify.theorem2")
 def verify_theorem2(tree: BinaryTree) -> ClaimReport:
     """Theorem 2: injective into X(r+4), dilation 11."""
     emb = injective_xtree_embedding(tree)
@@ -95,6 +98,7 @@ def verify_theorem2(tree: BinaryTree) -> ClaimReport:
     )
 
 
+@timed("verify.theorem3")
 def verify_theorem3(tree: BinaryTree) -> ClaimReport:
     """Theorem 3: into optimal hypercube Q_r, load 16, dilation 4."""
     emb = theorem3_embedding(tree)
@@ -108,6 +112,7 @@ def verify_theorem3(tree: BinaryTree) -> ClaimReport:
     )
 
 
+@timed("verify.corollary_q8")
 def verify_corollary_q8(tree: BinaryTree) -> ClaimReport:
     """Section 3 corollary: n <= 2^r - 16 injectively into Q_r, dilation 8."""
     emb = corollary_injective_hypercube(tree)
@@ -121,6 +126,7 @@ def verify_corollary_q8(tree: BinaryTree) -> ClaimReport:
     )
 
 
+@timed("verify.theorem4")
 def verify_theorem4(
     t: int, trees: list[BinaryTree] | None = None, seeds: tuple[int, ...] = (0, 1)
 ) -> ClaimReport:
@@ -159,6 +165,7 @@ def verify_theorem4(
     )
 
 
+@timed("verify.lemma3")
 def verify_lemma3(r: int, samples: int = 500, seed: int = 0) -> ClaimReport:
     """Lemma 3: X(r) -> Q_{r+1} injective with distance D -> <= D+1.
 
@@ -193,6 +200,7 @@ def verify_lemma3(r: int, samples: int = 500, seed: int = 0) -> ClaimReport:
     )
 
 
+@timed("verify.inorder")
 def verify_inorder(r: int) -> ClaimReport:
     """Inorder embedding of B_r into Q_{r+1}: dilation 2, distance +1."""
     from ..networks.binary_tree_net import CompleteBinaryTreeNet
@@ -216,6 +224,7 @@ def verify_inorder(r: int) -> ClaimReport:
     )
 
 
+@timed("verify.figure1")
 def verify_figure1(r: int) -> ClaimReport:
     """Figure 1 / definition: structure of X(r).
 
@@ -238,6 +247,7 @@ def verify_figure1(r: int) -> ClaimReport:
     )
 
 
+@timed("verify.figure2")
 def verify_figure2(r: int) -> ClaimReport:
     """Figure 2: |N(alpha) - {alpha}| <= 20 and <= 5 asymmetric in-neighbours.
 
@@ -258,6 +268,7 @@ def verify_figure2(r: int) -> ClaimReport:
     )
 
 
+@timed("verify.imbalance_estimations")
 def verify_imbalance_estimations(tree: BinaryTree) -> ClaimReport:
     """Section 2(iii): the per-round imbalance estimations.
 

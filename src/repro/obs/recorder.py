@@ -1,0 +1,259 @@
+"""Trace recorders for the synchronous network engine.
+
+The engine (:meth:`repro.simulate.engine.SynchronousNetwork.deliver_scheduled`)
+emits two kinds of signals through a :class:`Recorder`:
+
+* **per-message lifecycle events** — ``inject`` (the message enters its
+  source's output queue), ``hop`` (it crosses a directed link), ``queued``
+  (link capacity forced it to wait a cycle), ``delivered`` (it reached its
+  destination);
+* **per-cycle samples** — queue occupancy per node, utilisation per
+  directed link, and the number of in-flight messages, captured at the end
+  of every active cycle.
+
+The default :class:`NullRecorder` keeps ``enabled = False``; the engine
+hoists that flag into a single local ``None`` check, so an uninstrumented
+delivery pays one predicate per event site and nothing else (the overhead
+is measured by ``benchmarks/bench_obs.py`` and gated at < 5%).
+
+:class:`TraceRecorder` captures everything in memory and can export the
+trace as JSONL (one event or sample per line) for the renderers in
+:mod:`repro.analysis.trace_report`.
+
+Invariants the test suite pins (``tests/test_obs.py``):
+
+* summing per-cycle ``link_utilisation`` over all samples reproduces
+  :attr:`DeliveryStats.link_traffic` exactly;
+* each message's event chain is ``inject -> (hop | queued)* -> delivered``
+  with contiguous hops, and the ``delivered`` cycle equals
+  ``DeliveryStats.delivery_cycle``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, TextIO
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "TraceRecorder",
+    "TraceEvent",
+    "CycleSample",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One lifecycle event of one message.
+
+    ``kind`` is one of ``inject`` / ``hop`` / ``queued`` / ``delivered``.
+    ``node`` is the location (for ``hop`` the link *source*; ``link_dst``
+    then holds the other endpoint).  ``phase`` indexes into the recorder's
+    ``phases`` list (supersteps, when driven through ``simulate_on_host``).
+    """
+
+    cycle: int
+    kind: str
+    msg_id: int
+    node: Any = None
+    link_dst: Any = None
+    phase: int = 0
+
+    def as_dict(self) -> dict:
+        d = {"type": "event", "cycle": self.cycle, "kind": self.kind,
+             "msg_id": self.msg_id, "phase": self.phase}
+        if self.node is not None:
+            d["node"] = repr(self.node)
+        if self.link_dst is not None:
+            d["link_dst"] = repr(self.link_dst)
+        return d
+
+
+@dataclass
+class CycleSample:
+    """End-of-cycle snapshot of the network state."""
+
+    cycle: int
+    phase: int
+    #: messages waiting in each node's output queue (empty queues omitted)
+    queue_occupancy: dict[Any, int] = field(default_factory=dict)
+    #: messages that crossed each directed link *this cycle*
+    link_utilisation: dict[tuple[Any, Any], int] = field(default_factory=dict)
+    #: messages injected but not yet delivered, after this cycle
+    in_flight: int = 0
+
+    @property
+    def max_queue(self) -> int:
+        return max(self.queue_occupancy.values(), default=0)
+
+    @property
+    def messages_moved(self) -> int:
+        return sum(self.link_utilisation.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "cycle",
+            "cycle": self.cycle,
+            "phase": self.phase,
+            "queue_occupancy": {repr(k): v for k, v in self.queue_occupancy.items()},
+            "link_utilisation": {f"{u!r}->{v!r}": c for (u, v), c in self.link_utilisation.items()},
+            "in_flight": self.in_flight,
+        }
+
+
+class Recorder:
+    """The hook protocol the engine drives (all hooks no-ops here).
+
+    Subclasses set ``enabled = True`` to receive callbacks; the engine
+    skips every call site when the flag is false, so the protocol costs
+    nothing unless someone is listening.
+    """
+
+    enabled: bool = False
+
+    def begin_phase(self, label: str) -> None:
+        """A new logical phase starts (e.g. one BSP superstep)."""
+
+    def on_inject(self, cycle: int, msg) -> None:
+        """``msg`` entered its source node's output queue at ``cycle``."""
+
+    def on_hop(self, cycle: int, msg, node, hop) -> None:
+        """``msg`` crossed the directed link ``node -> hop`` during ``cycle``."""
+
+    def on_queued(self, cycle: int, msg, node) -> None:
+        """``msg`` waited at ``node`` this cycle (link capacity exhausted)."""
+
+    def on_delivered(self, cycle: int, msg, node) -> None:
+        """``msg`` arrived at its destination ``node`` at ``cycle``."""
+
+    def on_cycle_end(self, cycle: int, queues, in_flight: int) -> None:
+        """One active cycle finished; ``queues`` maps node -> deque."""
+
+
+class NullRecorder(Recorder):
+    """The do-nothing default: ``enabled`` stays false."""
+
+
+class TraceRecorder(Recorder):
+    """In-memory capture of events and per-cycle samples.
+
+    ``events`` and ``cycles`` accumulate across every delivery driven with
+    this recorder; :meth:`begin_phase` partitions them (BSP supersteps
+    restart their cycle counters, so ``(phase, cycle)`` is the unique key).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.cycles: list[CycleSample] = []
+        self.phases: list[str] = []
+        self.n_injected = 0
+        self.n_delivered = 0
+        self._phase = 0
+        self._cycle_links: Counter = Counter()
+
+    # -- engine hooks --------------------------------------------------
+    def begin_phase(self, label: str) -> None:
+        self.phases.append(label)
+        self._phase = len(self.phases) - 1
+
+    def on_inject(self, cycle: int, msg) -> None:
+        self.n_injected += 1
+        self.events.append(TraceEvent(cycle, "inject", msg.msg_id, msg.src, phase=self._phase))
+
+    def on_hop(self, cycle: int, msg, node, hop) -> None:
+        self._cycle_links[(node, hop)] += 1
+        self.events.append(TraceEvent(cycle, "hop", msg.msg_id, node, hop, phase=self._phase))
+
+    def on_queued(self, cycle: int, msg, node) -> None:
+        self.events.append(TraceEvent(cycle, "queued", msg.msg_id, node, phase=self._phase))
+
+    def on_delivered(self, cycle: int, msg, node) -> None:
+        self.n_delivered += 1
+        self.events.append(TraceEvent(cycle, "delivered", msg.msg_id, node, phase=self._phase))
+
+    def on_cycle_end(self, cycle: int, queues, in_flight: int) -> None:
+        self.cycles.append(
+            CycleSample(
+                cycle=cycle,
+                phase=self._phase,
+                queue_occupancy={n: len(q) for n, q in queues.items() if q},
+                link_utilisation=dict(self._cycle_links),
+                in_flight=in_flight,
+            )
+        )
+        self._cycle_links.clear()
+
+    # -- aggregations --------------------------------------------------
+    def link_utilisation_totals(self) -> dict[tuple[Any, Any], int]:
+        """Per-link totals over all sampled cycles.
+
+        Equals ``DeliveryStats.link_traffic`` of the recorded deliveries
+        (summed, when the recorder spanned several) — the identity the
+        acceptance criteria gate on.
+        """
+        totals: Counter = Counter()
+        for sample in self.cycles:
+            totals.update(sample.link_utilisation)
+        return dict(totals)
+
+    def message_events(self, msg_id: int) -> list[TraceEvent]:
+        """The lifecycle chain of one message, in emission order."""
+        return [e for e in self.events if e.msg_id == msg_id]
+
+    def delivery_cycles(self) -> dict[int, int]:
+        """``msg_id -> cycle`` reconstructed from the ``delivered`` events."""
+        return {e.msg_id: e.cycle for e in self.events if e.kind == "delivered"}
+
+    @property
+    def in_flight_peak(self) -> int:
+        return max((s.in_flight for s in self.cycles), default=0)
+
+    @property
+    def max_queue(self) -> int:
+        return max((s.max_queue for s in self.cycles), default=0)
+
+    def summary(self) -> dict:
+        """Headline numbers for the text renderer and the CLI."""
+        totals = self.link_utilisation_totals()
+        busiest = max(totals.items(), key=lambda kv: kv[1], default=(None, 0))
+        active = len(self.cycles)
+        moved = sum(s.messages_moved for s in self.cycles)
+        return {
+            "events": len(self.events),
+            "active_cycles": active,
+            "n_phases": len(self.phases),
+            "messages_injected": self.n_injected,
+            "messages_delivered": self.n_delivered,
+            "links_used": len(totals),
+            "busiest_link": None if busiest[0] is None else f"{busiest[0][0]!r}->{busiest[0][1]!r}",
+            "busiest_link_traffic": busiest[1],
+            "peak_in_flight": self.in_flight_peak,
+            "peak_queue": self.max_queue,
+            "mean_moves_per_cycle": round(moved / active, 3) if active else 0.0,
+        }
+
+    # -- export --------------------------------------------------------
+    def to_jsonl(self, path_or_file) -> None:
+        """Write the full trace as JSONL: a header line, then every
+        per-cycle sample and event in capture order."""
+        close = False
+        if hasattr(path_or_file, "write"):
+            fh: TextIO = path_or_file
+        else:
+            fh = open(path_or_file, "w", encoding="utf-8")
+            close = True
+        try:
+            header = {"type": "header", "phases": self.phases, **self.summary()}
+            fh.write(json.dumps(header) + "\n")
+            for sample in self.cycles:
+                fh.write(json.dumps(sample.as_dict()) + "\n")
+            for event in self.events:
+                fh.write(json.dumps(event.as_dict()) + "\n")
+        finally:
+            if close:
+                fh.close()

@@ -20,6 +20,7 @@ from collections.abc import Iterable
 from typing import Any, Hashable
 
 from ..networks.base import Topology, bfs_distances_from
+from ..obs import Recorder
 
 __all__ = ["Message", "DeliveryStats", "SynchronousNetwork", "UnreachableError"]
 
@@ -46,7 +47,10 @@ class DeliveryStats:
 
     cycles: int
     n_messages: int
-    #: per-message delivery cycle (1-based; 0 = src == dst, delivered free)
+    #: per-message delivery cycle: a routed message records the cycle its
+    #: last hop arrives (>= 1); a self-message (src == dst) is delivered
+    #: free at its *injection* cycle — 0 for :meth:`deliver`, the scheduled
+    #: cycle ``k`` for :meth:`deliver_scheduled`
     delivery_cycle: dict[int, int] = field(default_factory=dict)
     #: traffic per directed link over the whole phase
     link_traffic: dict[tuple[Node, Node], int] = field(default_factory=dict)
@@ -105,11 +109,18 @@ class SynchronousNetwork:
     def restore_link(self, u: Node, v: Node) -> None:
         """Bring a previously failed link back up.
 
-        Tables are dropped only where the revived link creates a shorter
-        route: when exactly one endpoint was reachable, or the cached
-        distances differ by two or more.  Tables the link cannot improve
-        (``|dist(u) - dist(v)| <= 1``) are kept.
+        Must name an actual topology edge (mirroring :meth:`fail_link`);
+        healing a link that is already live is a no-op — in particular it
+        does *not* drop any warm routing tables.  Tables are dropped only
+        where the revived link creates a shorter route: when exactly one
+        endpoint was reachable, or the cached distances differ by two or
+        more.  Tables the link cannot improve (``|dist(u) - dist(v)| <= 1``)
+        are kept.
         """
+        if v not in set(self.topology.neighbors(u)):
+            raise ValueError(f"{u!r} -- {v!r} is not a link of {self.topology.name}")
+        if frozenset((u, v)) not in self.failed:
+            return  # already live: nothing changed, keep every warm table
         self.failed.discard(frozenset((u, v)))
         self._invalidate(u, v, healed=True)
 
@@ -200,7 +211,9 @@ class SynchronousNetwork:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def deliver(self, messages: list[Message]) -> DeliveryStats:
+    def deliver(
+        self, messages: list[Message], *, recorder: Recorder | None = None
+    ) -> DeliveryStats:
         """Deliver all ``messages``, injected simultaneously at cycle 1.
 
         Runs synchronous cycles until every message reaches its destination.
@@ -208,9 +221,14 @@ class SynchronousNetwork:
         messages (FIFO per link); the rest wait in the node's output queue.
         Returns per-message delivery cycles and per-link traffic.
         """
-        return self.deliver_scheduled([(0, m) for m in messages])
+        return self.deliver_scheduled([(0, m) for m in messages], recorder=recorder)
 
-    def deliver_scheduled(self, schedule: list[tuple[int, Message]]) -> DeliveryStats:
+    def deliver_scheduled(
+        self,
+        schedule: list[tuple[int, Message]],
+        *,
+        recorder: Recorder | None = None,
+    ) -> DeliveryStats:
         """Deliver messages with per-message injection cycles.
 
         ``schedule`` holds ``(inject_after_cycle, message)`` pairs: a message
@@ -219,30 +237,49 @@ class SynchronousNetwork:
         execution where later supersteps launch while earlier traffic is
         still in flight — contrast with the BSP semantics of
         :func:`repro.simulate.mapping.simulate_on_host`.
+
+        Sparse schedules are free: when the network drains, the clock jumps
+        straight to the next injection cycle instead of spinning through
+        the idle gap, so the cost is proportional to *active* cycles only
+        (the reported ``cycles`` are identical either way).
+
+        ``recorder`` (see :mod:`repro.obs`) receives per-message lifecycle
+        events and an end-of-cycle sample for every active cycle; the
+        default ``None`` / :class:`~repro.obs.NullRecorder` path costs one
+        predicate per event site.
         """
+        rec = recorder if recorder is not None and recorder.enabled else None
         stats = DeliveryStats(cycles=0, n_messages=len(schedule))
         # queues[node] holds (seq, message) tuples in FIFO order
         queues: dict[Node, deque[tuple[int, Message]]] = defaultdict(deque)
         pending: dict[int, list[tuple[int, Message]]] = defaultdict(list)
         seq = 0
-        last_inject = 0
+        last_self = 0
         for inject, m in schedule:
             if inject < 0:
                 raise ValueError("injection cycle must be non-negative")
             if m.src == m.dst:
                 stats.delivery_cycle[m.msg_id] = inject
+                last_self = max(last_self, inject)
+                if rec is not None:
+                    rec.on_inject(inject, m)
+                    rec.on_delivered(inject, m, m.dst)
                 continue
             pending[inject].append((seq, m))
-            last_inject = max(last_inject, inject)
             seq += 1
 
         cycle = 0
-        while any(queues.values()) or any(c >= cycle for c in pending):
+        in_network = 0  # routed messages injected but not yet delivered
+        while in_network or pending:
+            if not in_network:
+                # network drained: jump over the idle gap (all keys below
+                # the current cycle were already popped, so min() is next)
+                cycle = min(pending)
             for s, m in pending.pop(cycle, ()):
                 queues[m.src].append((s, m))
-            if not any(queues.values()):
-                cycle += 1
-                continue
+                in_network += 1
+                if rec is not None:
+                    rec.on_inject(cycle, m)
             cycle += 1
             arrivals: dict[Node, list[tuple[int, Message]]] = defaultdict(list)
             for node in list(queues):
@@ -260,18 +297,29 @@ class SynchronousNetwork:
                         key = (node, hop)
                         stats.link_traffic[key] = stats.link_traffic.get(key, 0) + 1
                         arrivals[hop].append((s, m))
+                        if rec is not None:
+                            rec.on_hop(cycle, m, node, hop)
                     else:
                         kept.append((s, m))
+                        if rec is not None:
+                            rec.on_queued(cycle, m, node)
                 queues[node] = kept
             for node, arrived in arrivals.items():
                 for s, m in arrived:
                     if m.dst == node:
                         stats.delivery_cycle[m.msg_id] = cycle
+                        in_network -= 1
+                        if rec is not None:
+                            rec.on_delivered(cycle, m, node)
                     else:
                         queues[node].append((s, m))
             # keep FIFO fairness stable: re-sort merged queues by sequence
             for node in arrivals:
                 if queues[node]:
                     queues[node] = deque(sorted(queues[node]))
-        stats.cycles = cycle
+            if rec is not None:
+                rec.on_cycle_end(cycle, queues, in_network)
+        # the phase lasts until the final delivery, including a self-message
+        # "delivered free" at a late scheduled cycle
+        stats.cycles = max(cycle, last_self)
         return stats

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.embedding import Embedding
+from ..obs import Recorder, span
 from .engine import Message, SynchronousNetwork
 from .programs import TreeProgram
 
@@ -57,6 +58,7 @@ def simulate_on_host(
     *,
     link_capacity: int = 1,
     barrier: bool = True,
+    recorder: Recorder | None = None,
 ) -> ExecutionStats:
     """Execute ``program`` on ``embedding.host`` and return cycle counts.
 
@@ -71,25 +73,33 @@ def simulate_on_host(
     dilation latency of well-embedded wave programs.  Per-superstep cycle
     counts are not defined in this mode (the list holds the single
     makespan).
+
+    ``recorder`` (see :mod:`repro.obs`) observes the underlying deliveries;
+    in barrier mode each superstep becomes one recorder *phase* (per-phase
+    cycle counters restart, so samples are keyed ``(phase, cycle)``).
     """
     if program.tree is not embedding.guest and program.tree.parent_array != embedding.guest.parent_array:
         raise ValueError("program and embedding use different guest trees")
     network = SynchronousNetwork(embedding.host, link_capacity=link_capacity)
     host_name = getattr(embedding.host, "name", type(embedding.host).__name__)
+    observing = recorder is not None and recorder.enabled
     if barrier:
         per_step: list[int] = []
         max_traffic = 0
         max_queue = 0
         msg_id = 0
-        for step in program.supersteps:
-            messages = []
-            for src, dst in step:
-                messages.append(Message(msg_id, embedding.phi[src], embedding.phi[dst]))
-                msg_id += 1
-            stats = network.deliver(messages)
-            per_step.append(stats.cycles)
-            max_traffic = max(max_traffic, stats.max_link_traffic)
-            max_queue = max(max_queue, stats.max_queue)
+        with span("simulate.on_host", program=program.name, host=host_name, mode="bsp"):
+            for k, step in enumerate(program.supersteps):
+                messages = []
+                for src, dst in step:
+                    messages.append(Message(msg_id, embedding.phi[src], embedding.phi[dst]))
+                    msg_id += 1
+                if observing:
+                    recorder.begin_phase(f"{program.name}[{k}]")
+                stats = network.deliver(messages, recorder=recorder)
+                per_step.append(stats.cycles)
+                max_traffic = max(max_traffic, stats.max_link_traffic)
+                max_queue = max(max_queue, stats.max_queue)
         return ExecutionStats(
             program=program.name,
             host_name=host_name,
@@ -107,7 +117,10 @@ def simulate_on_host(
         for src, dst in step:
             schedule.append((k, Message(msg_id, embedding.phi[src], embedding.phi[dst])))
             msg_id += 1
-    stats = network.deliver_scheduled(schedule)
+    if observing:
+        recorder.begin_phase(f"{program.name}[pipelined]")
+    with span("simulate.on_host", program=program.name, host=host_name, mode="pipelined"):
+        stats = network.deliver_scheduled(schedule, recorder=recorder)
     return ExecutionStats(
         program=program.name,
         host_name=host_name,
@@ -121,7 +134,9 @@ def simulate_on_host(
     )
 
 
-def simulate_on_guest(program: TreeProgram, *, link_capacity: int = 1) -> ExecutionStats:
+def simulate_on_guest(
+    program: TreeProgram, *, link_capacity: int = 1, recorder: Recorder | None = None
+) -> ExecutionStats:
     """Execute the program on the guest tree itself (the reference machine).
 
     Uses the tree as its own host network via the identity embedding; for
@@ -158,4 +173,4 @@ def simulate_on_guest(program: TreeProgram, *, link_capacity: int = 1) -> Execut
 
     host = _TreeNet(program.tree)
     identity = Embedding(program.tree, host, {v: v for v in program.tree.nodes()})
-    return simulate_on_host(program, identity, link_capacity=link_capacity)
+    return simulate_on_host(program, identity, link_capacity=link_capacity, recorder=recorder)
