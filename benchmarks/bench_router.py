@@ -1,0 +1,275 @@
+"""Adaptive-routing benchmark: hot-spot makespan and zero-cost default (PR 3).
+
+Two families of measurements:
+
+* **hot-spot makespan** — the acceptance gate: on adversarial workloads
+  (every node bombarding one hot destination; bit-reversal permutations)
+  the congestion-aware :class:`~repro.simulate.routing.AdaptiveRouter`
+  must cut the deterministic router's makespan by at least
+  ``MIN_HOTSPOT_IMPROVEMENT_PCT`` (15%) on every gated workload.  Cycle
+  counts are exact and machine-independent — they double as the regression
+  record ``benchmarks/check_regression.py`` tracks in CI.
+* **deterministic default unchanged** — the refactor gate: with the
+  default router the engine must produce ``DeliveryStats`` *bit-identical*
+  to ``legacy_deliver_scheduled`` (the pre-router loop, imported from
+  ``bench_obs``) on a randomised corpus, and stay within
+  ``MAX_DETERMINISTIC_OVERHEAD_PCT`` (5%) of its wall-clock time.
+
+Workloads (the ``--smoke`` sizes are also part of the full record, so a
+CI smoke run can match them against the committed full record):
+
+* ``hypercube_hotspot`` — all nodes send to node 0 of a hypercube at
+  once.  log(n) equal-length routes exist per source; the deterministic
+  smallest-index tie-break piles them onto one spanning tree while the
+  adaptive router spreads over all of node 0's ``d`` terminal links.
+* ``hypercube_bitrev`` — the classic bit-reversal permutation, the
+  standard adversary for oblivious dimension-ordered routing.
+* ``xtree_hotspot`` — every X-tree node sends to one *interior* node,
+  where sibling links offer equal-length alternatives.  (A leaf hot spot
+  is terminal-bound — see docs/ALGORITHM.md — so the gate targets the
+  interesting case.)
+* ``embedded_hotspot`` — :func:`~repro.simulate.programs.hot_spot_program`
+  run through the Theorem 1 embedding, pipelined: the end-to-end path the
+  CLI exercises (guest hot node -> 16-node image block -> host routes).
+
+Run::
+
+    python benchmarks/bench_router.py [--smoke] [--out BENCH_PR3.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_obs import _best_of, _stats_key, legacy_deliver_scheduled, make_workloads
+
+from repro.core import theorem1_embedding
+from repro.networks import Hypercube, XTree
+from repro.simulate import Message, SynchronousNetwork, hot_spot_program
+from repro.simulate.mapping import simulate_on_host
+from repro.trees import make_tree, theorem1_guest_size
+
+MIN_HOTSPOT_IMPROVEMENT_PCT = 15.0
+MAX_DETERMINISTIC_OVERHEAD_PCT = 5.0
+
+#: interior X-tree hot nodes (level, position) per height — picked off the
+#: spine so sibling links give the router equal-length alternatives
+_XTREE_HOT = {4: (3, 3), 6: (4, 7)}
+
+
+def hotspot_schedule(host, hot):
+    """Every node except ``hot`` sends one message to ``hot`` at cycle 0."""
+    return [
+        (0, Message(i, v, hot))
+        for i, v in enumerate(n for n in host.nodes() if n != hot)
+    ]
+
+
+def bitrev_schedule(host: Hypercube, dim: int):
+    """The bit-reversal permutation on a ``dim``-dimensional hypercube."""
+    def rev(v: int) -> int:
+        return int(format(v, f"0{dim}b")[::-1], 2)
+
+    return [
+        (0, Message(i, v, rev(v)))
+        for i, v in enumerate(range(host.n_nodes))
+        if v != rev(v)
+    ]
+
+
+def bench_hotspot(name: str, host, schedule, params: dict, *, gated: bool) -> dict:
+    """Deterministic vs adaptive makespan on one raw-network workload."""
+    det = SynchronousNetwork(host, router="deterministic").deliver_scheduled(schedule)
+    ada = SynchronousNetwork(host, router="adaptive").deliver_scheduled(schedule)
+    assert set(det.delivery_cycle) == set(ada.delivery_cycle), "adaptive lost messages"
+    return {
+        "name": name,
+        "params": params,
+        "deterministic_cycles": det.cycles,
+        "adaptive_cycles": ada.cycles,
+        "improvement_pct": (det.cycles - ada.cycles) / det.cycles * 100.0,
+        "gated": gated,
+    }
+
+
+def bench_embedded_hotspot(r: int, seed: int, *, gated: bool) -> dict:
+    """The end-to-end path: hot_spot_program through the Theorem 1 embedding.
+
+    Pipelined injection (one superstep per cycle), the same shape the
+    engine's ``deliver_scheduled`` models for non-barrier execution.
+    """
+    tree = make_tree("random", theorem1_guest_size(r), seed=0)
+    emb = theorem1_embedding(tree).embedding
+    prog = hot_spot_program(tree, rounds=2, seed=seed)
+    det = simulate_on_host(prog, emb, router="deterministic").total_cycles
+    ada = simulate_on_host(prog, emb, router="adaptive").total_cycles
+    return {
+        "name": "embedded_hotspot",
+        "params": {"r": r, "rounds": 2, "seed": seed, "n": tree.n},
+        "deterministic_cycles": det,
+        "adaptive_cycles": ada,
+        "improvement_pct": (det - ada) / det * 100.0,
+        "gated": gated,
+    }
+
+
+def check_deterministic_identity(n_schedules: int, seed: int = 0) -> dict:
+    """Default router == explicit deterministic == pre-router legacy loop.
+
+    Random multi-hop schedules over an X-tree and a hypercube; every
+    ``DeliveryStats`` field must match bit-for-bit (the refactor gate).
+    """
+    rng = random.Random(seed)
+    checked = 0
+    for host in (XTree(4), Hypercube(6)):
+        nodes = list(host.nodes())
+        for _ in range(n_schedules):
+            schedule = []
+            for i in range(rng.randrange(20, 120)):
+                src, dst = rng.sample(nodes, 2)
+                schedule.append((rng.randrange(0, 8), Message(i, src, dst)))
+            default = SynchronousNetwork(host).deliver_scheduled(schedule)
+            named = SynchronousNetwork(host, router="deterministic").deliver_scheduled(
+                schedule
+            )
+            legacy = legacy_deliver_scheduled(SynchronousNetwork(host), schedule)
+            if not (_stats_key(default) == _stats_key(named) == _stats_key(legacy)):
+                return {"name": "deterministic_identity", "checked": checked,
+                        "identical": False, "gated": True}
+            checked += 1
+    return {
+        "name": "deterministic_identity",
+        "params": {"schedules": checked},
+        "identical": True,
+        "gated": True,
+    }
+
+
+def bench_overhead(r: int, rounds: int, repeats: int) -> dict:
+    """Router-indirection cost with the default policy vs the legacy loop.
+
+    The engine keeps its direct ``next_hop`` fast path unless an adaptive
+    router is installed; this times the residual cost (one local bool per
+    message-cycle) on the same dense workload ``bench_obs`` gates on.
+    """
+    host, dense, _ = make_workloads(r, rounds, gap=1000)
+    net = SynchronousNetwork(host)
+    net.deliver_scheduled(dense)  # warm the routing tables
+    legacy = _best_of(lambda: legacy_deliver_scheduled(net, dense), repeats)
+    new = _best_of(lambda: net.deliver_scheduled(dense), repeats)
+    return {
+        "name": "deterministic_overhead",
+        "params": {"messages": len(dense), "host": host.name},
+        "legacy_s": legacy,
+        "new_s": new,
+        "overhead_pct": (new - legacy) / legacy * 100.0,
+        "gated": True,
+    }
+
+
+def run(smoke: bool = False, repeats: int = 5) -> dict:
+    results = [
+        bench_hotspot(
+            "hypercube_hotspot", Hypercube(6), hotspot_schedule(Hypercube(6), 0),
+            {"dim": 6, "hot": 0}, gated=True,
+        ),
+        bench_hotspot(
+            "hypercube_bitrev", Hypercube(6), bitrev_schedule(Hypercube(6), 6),
+            {"dim": 6}, gated=True,
+        ),
+        bench_hotspot(
+            "xtree_hotspot", XTree(4), hotspot_schedule(XTree(4), _XTREE_HOT[4]),
+            {"r": 4, "hot": list(_XTREE_HOT[4])}, gated=False,  # too small to matter
+        ),
+        bench_embedded_hotspot(3, seed=2, gated=True),
+    ]
+    if not smoke:
+        results += [
+            bench_hotspot(
+                "hypercube_hotspot", Hypercube(8), hotspot_schedule(Hypercube(8), 0),
+                {"dim": 8, "hot": 0}, gated=True,
+            ),
+            bench_hotspot(
+                "hypercube_bitrev", Hypercube(8), bitrev_schedule(Hypercube(8), 8),
+                {"dim": 8}, gated=True,
+            ),
+            bench_hotspot(
+                "xtree_hotspot", XTree(6), hotspot_schedule(XTree(6), _XTREE_HOT[6]),
+                {"r": 6, "hot": list(_XTREE_HOT[6])}, gated=True,
+            ),
+            bench_embedded_hotspot(5, seed=2, gated=True),
+        ]
+    results.append(check_deterministic_identity(n_schedules=5 if smoke else 20))
+    results.append(bench_overhead(r=3 if smoke else 4, rounds=4 if smoke else 8,
+                                  repeats=repeats))
+
+    ok = True
+    for res in results:
+        if not res.get("gated"):
+            continue
+        if "improvement_pct" in res:
+            ok &= res["improvement_pct"] >= MIN_HOTSPOT_IMPROVEMENT_PCT
+        if "identical" in res:
+            ok &= res["identical"]
+        if "overhead_pct" in res:
+            ok &= res["overhead_pct"] <= MAX_DETERMINISTIC_OVERHEAD_PCT
+    return {
+        "bench": "router (PR 3)",
+        "smoke": smoke,
+        "python": sys.version.split()[0],
+        "min_hotspot_improvement_pct": MIN_HOTSPOT_IMPROVEMENT_PCT,
+        "max_deterministic_overhead_pct": MAX_DETERMINISTIC_OVERHEAD_PCT,
+        "results": results,
+        "all_pass": ok,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small instances for CI")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_PR3.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+    record = run(smoke=args.smoke, repeats=args.repeats)
+    for res in record["results"]:
+        if "improvement_pct" in res:
+            print(
+                f"{res['name']:<24} {str(res['params']):<42} "
+                f"det {res['deterministic_cycles']:5d}  ada {res['adaptive_cycles']:5d}  "
+                f"improvement {res['improvement_pct']:+6.1f}%"
+            )
+        elif "identical" in res:
+            print(f"{res['name']:<24} {str(res.get('params', '')):<42} "
+                  f"identical: {res['identical']}")
+        else:
+            print(
+                f"{res['name']:<24} {str(res['params']):<42} "
+                f"legacy {res['legacy_s'] * 1e3:8.2f} ms   new {res['new_s'] * 1e3:8.2f} ms   "
+                f"overhead {res['overhead_pct']:+6.2f}%"
+            )
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not record["all_pass"]:
+        print(
+            f"FAIL: a gated workload missed its bar "
+            f"(>= {MIN_HOTSPOT_IMPROVEMENT_PCT}% hot-spot improvement, "
+            f"bit-identical deterministic stats, "
+            f"<= {MAX_DETERMINISTIC_OVERHEAD_PCT}% overhead)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""Compare a fresh benchmark run against a committed ``BENCH_PR*.json``.
+
+The benchmark records at the repo root are commitments: the cycle counts
+in them are exact, deterministic, machine-independent numbers (makespans
+of fixed workloads), so any change is a *behaviour* change, not noise.
+This checker re-matches a fresh run's results against the committed
+record by ``(name, params)`` and fails when any ``*_cycles`` metric grew
+by more than ``--threshold`` percent (default 20) — the CI tripwire for
+accidental routing/scheduling regressions.
+
+Rules:
+
+* results are matched on ``(name, canonical-JSON params)``; committed
+  entries with no fresh counterpart are skipped (a ``--smoke`` run only
+  reproduces the smoke-size entries of the full committed record);
+* only keys ending in ``_cycles`` are compared — wall-clock fields
+  (``*_s``, ``*_pct``) are machine-dependent and ignored, so records from
+  timing-only benches (BENCH_PR1, BENCH_PR2) skip cleanly;
+* *improvements* (fewer cycles) never fail; they are reported so the
+  committed record can be refreshed.
+
+Run (what CI does)::
+
+    python benchmarks/bench_router.py --smoke --out /tmp/fresh.json
+    python benchmarks/check_regression.py BENCH_PR3.json /tmp/fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["compare_records", "main"]
+
+
+def _result_key(res: dict) -> tuple[str, str]:
+    """Identity of one benchmark result: name + canonicalised params."""
+    return res.get("name", "?"), json.dumps(res.get("params", {}), sort_keys=True)
+
+
+def compare_records(committed: dict, fresh: dict, threshold_pct: float) -> list[dict]:
+    """All ``*_cycles`` comparisons between two benchmark records.
+
+    Returns one row per compared metric with the regression percentage
+    (positive = fresh is slower) and whether it breaches the threshold.
+    """
+    fresh_by_key = {_result_key(r): r for r in fresh.get("results", [])}
+    rows: list[dict] = []
+    for res in committed.get("results", []):
+        other = fresh_by_key.get(_result_key(res))
+        if other is None:
+            continue
+        for metric, value in res.items():
+            if not metric.endswith("_cycles") or not isinstance(value, (int, float)):
+                continue
+            new = other.get(metric)
+            if not isinstance(new, (int, float)) or value <= 0:
+                continue
+            delta_pct = (new - value) / value * 100.0
+            rows.append(
+                {
+                    "name": res["name"],
+                    "params": res.get("params", {}),
+                    "metric": metric,
+                    "committed": value,
+                    "fresh": new,
+                    "delta_pct": delta_pct,
+                    "regressed": delta_pct > threshold_pct,
+                }
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("committed", type=Path, help="committed BENCH_PR*.json")
+    parser.add_argument("fresh", type=Path, help="freshly produced record")
+    parser.add_argument(
+        "--threshold", type=float, default=20.0,
+        help="max allowed cycle-count growth in percent (default 20)",
+    )
+    args = parser.parse_args(argv)
+    committed = json.loads(args.committed.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    rows = compare_records(committed, fresh, args.threshold)
+    if not rows:
+        print(
+            f"{args.committed.name}: no matching *_cycles metrics to compare "
+            "(timing-only record or disjoint workloads) — skipping"
+        )
+        return 0
+    failed = False
+    for row in rows:
+        mark = "FAIL" if row["regressed"] else ("  ok" if row["delta_pct"] <= 0 else "warn")
+        print(
+            f"{mark}  {row['name']:<24} {str(row['params']):<42} {row['metric']:<22} "
+            f"{row['committed']:>6} -> {row['fresh']:>6}  ({row['delta_pct']:+.1f}%)"
+        )
+        failed |= row["regressed"]
+    if failed:
+        print(
+            f"FAIL: cycle counts regressed by more than {args.threshold}% vs "
+            f"{args.committed.name}; if intentional, regenerate the record "
+            "with the matching bench script and commit it"
+        )
+        return 1
+    print(f"all {len(rows)} tracked metrics within {args.threshold}% of {args.committed.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,8 +61,14 @@ def load_trace(path: str | Path) -> dict:
 
 
 def _phase_rows(recorder: TraceRecorder) -> list[list[object]]:
-    """Aggregate the recorder's samples into one row per phase."""
-    labels = recorder.phases or ["(all)"]
+    """Aggregate the recorder's samples into one row per phase.
+
+    A recorder driven without any ``begin_phase`` call (direct ``deliver``
+    use) has every sample at the implicit phase 0 and an empty ``phases``
+    list; that phase renders as ``(unphased)`` rather than mislabelling or
+    indexing past the label list.
+    """
+    labels = recorder.phases or ["(unphased)"]
     agg: dict[int, dict] = {}
     for s in recorder.cycles:
         a = agg.setdefault(s.phase, {"cycles": 0, "moved": 0, "queue": 0, "inflight": 0})

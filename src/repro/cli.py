@@ -9,7 +9,10 @@ Subcommands
 ``simulate`` run a tree program on the X-tree through the embedding and
             report cycles and slowdown; ``--trace PATH`` exports a JSONL
             event/metrics trace, ``--metrics`` prints per-cycle metrics,
-            timing spans and counters (see ``repro.obs``).
+            timing spans and counters (see ``repro.obs``); ``--router``
+            picks the next-hop policy (``deterministic`` smallest-index
+            shortest path, or congestion-aware ``adaptive`` — see
+            ``repro.simulate.routing``).
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ from .core.verification import (
 )
 from .core.xtree_embed import theorem1_embedding
 from .networks.xtree import addr_to_string
-from .simulate import PROGRAMS, simulate_on_guest, simulate_on_host
+from .simulate import PROGRAMS, ROUTERS, simulate_on_guest, simulate_on_host
 from .trees.binary_tree import theorem1_guest_size
 from .trees.generators import FAMILIES, make_tree
 
@@ -102,7 +105,11 @@ def _cmd_simulate(args) -> int:
         prog = PROGRAMS[name](tree)
         guest = simulate_on_guest(prog)
         host = simulate_on_host(
-            prog, result.embedding, link_capacity=args.link_capacity, recorder=recorder
+            prog,
+            result.embedding,
+            link_capacity=args.link_capacity,
+            recorder=recorder,
+            router=args.router,
         )
         rows.append(
             [
@@ -113,7 +120,10 @@ def _cmd_simulate(args) -> int:
                 f"{host.total_cycles / max(guest.total_cycles, 1):.2f}",
             ]
         )
-    print(f"guest: {args.family} tree, n={n}; host: X({args.height}); link capacity {args.link_capacity}")
+    print(
+        f"guest: {args.family} tree, n={n}; host: X({args.height}); "
+        f"link capacity {args.link_capacity}; router {args.router}"
+    )
     print(markdown_table(["program", "messages", "guest cycles", "host cycles", "slowdown"], rows))
     if args.trace:
         try:
@@ -200,6 +210,10 @@ def main(argv: list[str] | None = None) -> int:
     _add_tree_args(p_sim)
     p_sim.add_argument("--program", choices=sorted(PROGRAMS), help="single program (default: all)")
     p_sim.add_argument("--link-capacity", type=int, default=1, help="messages per link direction per cycle")
+    p_sim.add_argument(
+        "--router", choices=sorted(ROUTERS), default="deterministic",
+        help="next-hop policy: smallest-index shortest path, or congestion-aware adaptive",
+    )
     p_sim.add_argument("--trace", metavar="PATH", help="record the host simulation and write a JSONL trace")
     p_sim.add_argument("--metrics", action="store_true",
                        help="print per-cycle metrics, timing spans and counters")

@@ -158,6 +158,12 @@ class TraceRecorder(Recorder):
 
     # -- engine hooks --------------------------------------------------
     def begin_phase(self, label: str) -> None:
+        # Traffic recorded before any begin_phase (direct ``deliver`` use,
+        # not via ``simulate_on_host``) sits at the implicit phase 0; the
+        # first explicit phase must not collide with it, so materialise an
+        # "(unphased)" entry to keep those indices labelled correctly.
+        if not self.phases and (self.events or self.cycles):
+            self.phases.append("(unphased)")
         self.phases.append(label)
         self._phase = len(self.phases) - 1
 

@@ -8,12 +8,15 @@ into measured slowdown of real tree programs.
 from .compute import simulated_prefix, simulated_reduction
 from .engine import DeliveryStats, Message, SynchronousNetwork, UnreachableError
 from .mapping import ExecutionStats, simulate_on_guest, simulate_on_host
+from .routing import ROUTERS, AdaptiveRouter, Router, ShortestPathRouter, make_router
 from .programs import (
     PROGRAMS,
     TreeProgram,
     broadcast_program,
+    hot_spot_program,
     leaf_gossip_program,
     neighbor_exchange_program,
+    permutation_program,
     prefix_sum_program,
     reduction_program,
 )
@@ -23,6 +26,11 @@ __all__ = [
     "DeliveryStats",
     "SynchronousNetwork",
     "UnreachableError",
+    "Router",
+    "ShortestPathRouter",
+    "AdaptiveRouter",
+    "ROUTERS",
+    "make_router",
     "TreeProgram",
     "PROGRAMS",
     "reduction_program",
@@ -30,6 +38,8 @@ __all__ = [
     "prefix_sum_program",
     "neighbor_exchange_program",
     "leaf_gossip_program",
+    "hot_spot_program",
+    "permutation_program",
     "ExecutionStats",
     "simulate_on_host",
     "simulate_on_guest",

@@ -24,8 +24,10 @@ from collections.abc import Callable, Sequence
 from typing import Any
 
 from ..core.embedding import Embedding
+from ..obs import Recorder, span
 from .engine import Message, SynchronousNetwork
 from .programs import broadcast_program, reduction_program
+from .routing import Router
 
 __all__ = ["simulated_reduction", "simulated_prefix"]
 
@@ -43,6 +45,8 @@ def simulated_reduction(
     combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
     *,
     link_capacity: int = 1,
+    recorder: Recorder | None = None,
+    router: Router | str | None = None,
 ) -> tuple[Any, int]:
     """Run a leaves-to-root reduction on the host; return (result, cycles).
 
@@ -50,26 +54,36 @@ def simulated_reduction(
     subtree value to its parent's host image; the parent folds arrivals in.
     The final value at the root equals the sequential fold over the whole
     tree (tested in ``tests/test_compute.py``).
+
+    ``recorder`` observes the underlying deliveries exactly like
+    :func:`~repro.simulate.mapping.simulate_on_host` does — one recorder
+    phase per superstep — so payload-carrying runs show up in traces and
+    ``--metrics`` too; ``router`` selects the next-hop policy.
     """
     tree = embedding.guest
     _check_values(embedding, values)
-    network = SynchronousNetwork(embedding.host, link_capacity=link_capacity)
+    network = SynchronousNetwork(embedding.host, link_capacity=link_capacity, router=router)
+    observing = recorder is not None and recorder.enabled
     acc: list[Any] = list(values)
     total_cycles = 0
     program = reduction_program(tree)
-    for step in program.supersteps:
-        messages = []
-        payloads = {}
-        for mid, (src, dst) in enumerate(step):
-            messages.append(Message(mid, embedding.phi[src], embedding.phi[dst]))
-            payloads[mid] = (dst, acc[src])
-        stats = network.deliver(messages)
-        total_cycles += stats.cycles
-        # arrivals fold into the parent's accumulator (order-independent
-        # because the operator is associative-commutative)
-        for mid in stats.delivery_cycle:
-            dst, value = payloads[mid]
-            acc[dst] = combine(acc[dst], value)
+    host_name = getattr(embedding.host, "name", type(embedding.host).__name__)
+    with span("simulate.reduction", host=host_name, n=tree.n):
+        for k, step in enumerate(program.supersteps):
+            messages = []
+            payloads = {}
+            for mid, (src, dst) in enumerate(step):
+                messages.append(Message(mid, embedding.phi[src], embedding.phi[dst]))
+                payloads[mid] = (dst, acc[src])
+            if observing:
+                recorder.begin_phase(f"{program.name}[{k}]")
+            stats = network.deliver(messages, recorder=recorder)
+            total_cycles += stats.cycles
+            # arrivals fold into the parent's accumulator (order-independent
+            # because the operator is associative-commutative)
+            for mid in stats.delivery_cycle:
+                dst, value = payloads[mid]
+                acc[dst] = combine(acc[dst], value)
     return acc[tree.root], total_cycles
 
 
@@ -80,6 +94,8 @@ def simulated_prefix(
     identity: Any = 0,
     *,
     link_capacity: int = 1,
+    recorder: Recorder | None = None,
+    router: Router | str | None = None,
 ) -> tuple[list[Any], int]:
     """Exclusive scan along root-to-node paths, computed distributedly.
 
@@ -87,22 +103,30 @@ def simulated_prefix(
     down to (excluding) ``v`` — the tree analogue of an exclusive prefix
     sum.  Computed by a broadcast down-sweep whose payloads accumulate the
     path prefix; verified against a direct traversal in the tests.
+
+    ``recorder`` / ``router`` thread through to the network exactly as in
+    :func:`simulated_reduction` (one recorder phase per superstep).
     """
     tree = embedding.guest
     _check_values(embedding, values)
-    network = SynchronousNetwork(embedding.host, link_capacity=link_capacity)
+    network = SynchronousNetwork(embedding.host, link_capacity=link_capacity, router=router)
+    observing = recorder is not None and recorder.enabled
     out: list[Any] = [identity] * tree.n
     total_cycles = 0
     program = broadcast_program(tree)
-    for step in program.supersteps:
-        messages = []
-        payloads = {}
-        for mid, (src, dst) in enumerate(step):
-            messages.append(Message(mid, embedding.phi[src], embedding.phi[dst]))
-            payloads[mid] = (dst, combine(out[src], values[src]))
-        stats = network.deliver(messages)
-        total_cycles += stats.cycles
-        for mid in stats.delivery_cycle:
-            dst, value = payloads[mid]
-            out[dst] = value
+    host_name = getattr(embedding.host, "name", type(embedding.host).__name__)
+    with span("simulate.prefix", host=host_name, n=tree.n):
+        for k, step in enumerate(program.supersteps):
+            messages = []
+            payloads = {}
+            for mid, (src, dst) in enumerate(step):
+                messages.append(Message(mid, embedding.phi[src], embedding.phi[dst]))
+                payloads[mid] = (dst, combine(out[src], values[src]))
+            if observing:
+                recorder.begin_phase(f"{program.name}[{k}]")
+            stats = network.deliver(messages, recorder=recorder)
+            total_cycles += stats.cycles
+            for mid in stats.delivery_cycle:
+                dst, value = payloads[mid]
+                out[dst] = value
     return out, total_cycles

@@ -7,20 +7,24 @@ direction per clock cycle (configurable).  The paper's *dilation* is then
 literally the number of cycles a message between formerly-adjacent guest
 processors needs on the host; *congestion* shows up as queueing delay.
 
-The simulator is deterministic: shortest-path routes break ties towards the
-smallest canonical node index, and link contention is resolved FIFO by
-(arrival cycle, message id).
+The simulator is deterministic: with the default router, shortest-path
+routes break ties towards the smallest canonical node index; link
+contention is resolved FIFO by (arrival cycle, message id).  The next-hop
+policy is pluggable (see :mod:`repro.simulate.routing`): the
+congestion-aware :class:`~repro.simulate.routing.AdaptiveRouter` spreads
+tied flows by recent load instead, seeded so runs stay reproducible.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 from collections.abc import Iterable
 from typing import Any, Hashable
 
 from ..networks.base import Topology, bfs_distances_from
 from ..obs import Recorder
+from .routing import Router, make_router
 
 __all__ = ["Message", "DeliveryStats", "SynchronousNetwork", "UnreachableError"]
 
@@ -72,6 +76,13 @@ class SynchronousNetwork:
     built lazily and invalidated *incrementally*: a link event drops only
     the tables it can actually stale (see :meth:`_invalidate`), so long
     fail/heal sequences keep most of the routing cache warm.
+
+    ``router`` selects the next-hop policy (:mod:`repro.simulate.routing`):
+    ``None`` / ``"deterministic"`` keep the historical smallest-index
+    shortest-path policy on the engine's direct fast path; ``"adaptive"``
+    (or any :class:`~repro.simulate.routing.Router` instance) routes each
+    hop through the policy object and feeds the engine's per-cycle link
+    utilisation and queue occupancy back into it after every active cycle.
     """
 
     def __init__(
@@ -79,11 +90,13 @@ class SynchronousNetwork:
         topology: Topology,
         link_capacity: int = 1,
         failed_links: Iterable[tuple[Node, Node]] | None = None,
+        router: Router | str | None = None,
     ):
         if link_capacity < 1:
             raise ValueError(f"link capacity must be >= 1, got {link_capacity}")
         self.topology = topology
         self.link_capacity = link_capacity
+        self.router = make_router(router).bind(self)
         self.failed: set[frozenset] = set()
         self._dist_to: dict[Node, dict[Node, int]] = {}
         for u, v in failed_links or ():
@@ -247,17 +260,31 @@ class SynchronousNetwork:
         events and an end-of-cycle sample for every active cycle; the
         default ``None`` / :class:`~repro.obs.NullRecorder` path costs one
         predicate per event site.
+
+        Every ``msg_id`` in the schedule must be unique: ``delivery_cycle``
+        and the trace event chains are keyed by it, so a duplicate would
+        silently overwrite an earlier delivery record.  Duplicates raise
+        :class:`ValueError` before anything is injected.
         """
         rec = recorder if recorder is not None and recorder.enabled else None
+        router = self.router
+        adaptive = router.adaptive
         stats = DeliveryStats(cycles=0, n_messages=len(schedule))
         # queues[node] holds (seq, message) tuples in FIFO order
         queues: dict[Node, deque[tuple[int, Message]]] = defaultdict(deque)
         pending: dict[int, list[tuple[int, Message]]] = defaultdict(list)
         seq = 0
         last_self = 0
+        seen_ids: set[int] = set()
         for inject, m in schedule:
             if inject < 0:
                 raise ValueError("injection cycle must be non-negative")
+            if m.msg_id in seen_ids:
+                raise ValueError(
+                    f"duplicate msg_id {m.msg_id} in schedule: delivery stats "
+                    "and traces are keyed by msg_id, so ids must be unique"
+                )
+            seen_ids.add(m.msg_id)
             if m.src == m.dst:
                 stats.delivery_cycle[m.msg_id] = inject
                 last_self = max(last_self, inject)
@@ -268,6 +295,9 @@ class SynchronousNetwork:
             pending[inject].append((seq, m))
             seq += 1
 
+        if adaptive:
+            router.begin_delivery()
+            cycle_links: Counter = Counter()
         cycle = 0
         in_network = 0  # routed messages injected but not yet delivered
         while in_network or pending:
@@ -291,11 +321,16 @@ class SynchronousNetwork:
                 kept: deque[tuple[int, Message]] = deque()
                 while q:
                     s, m = q.popleft()
-                    hop = self.next_hop(node, m.dst)
+                    if adaptive:
+                        hop = router.next_hop(node, m.dst, m.msg_id)
+                    else:
+                        hop = self.next_hop(node, m.dst)
                     if sent_per_link[hop] < self.link_capacity:
                         sent_per_link[hop] += 1
                         key = (node, hop)
                         stats.link_traffic[key] = stats.link_traffic.get(key, 0) + 1
+                        if adaptive:
+                            cycle_links[key] += 1
                         arrivals[hop].append((s, m))
                         if rec is not None:
                             rec.on_hop(cycle, m, node, hop)
@@ -319,6 +354,9 @@ class SynchronousNetwork:
                     queues[node] = deque(sorted(queues[node]))
             if rec is not None:
                 rec.on_cycle_end(cycle, queues, in_network)
+            if adaptive:
+                router.end_cycle(cycle, cycle_links, queues)
+                cycle_links = Counter()
         # the phase lasts until the final delivery, including a self-message
         # "delivered free" at a late scheduled cycle
         stats.cycles = max(cycle, last_self)

@@ -19,6 +19,7 @@ from ..core.embedding import Embedding
 from ..obs import Recorder, span
 from .engine import Message, SynchronousNetwork
 from .programs import TreeProgram
+from .routing import Router
 
 __all__ = ["ExecutionStats", "simulate_on_host", "simulate_on_guest"]
 
@@ -59,6 +60,7 @@ def simulate_on_host(
     link_capacity: int = 1,
     barrier: bool = True,
     recorder: Recorder | None = None,
+    router: Router | str | None = None,
 ) -> ExecutionStats:
     """Execute ``program`` on ``embedding.host`` and return cycle counts.
 
@@ -77,10 +79,15 @@ def simulate_on_host(
     ``recorder`` (see :mod:`repro.obs`) observes the underlying deliveries;
     in barrier mode each superstep becomes one recorder *phase* (per-phase
     cycle counters restart, so samples are keyed ``(phase, cycle)``).
+
+    ``router`` selects the next-hop policy (see
+    :mod:`repro.simulate.routing`); the one network — and hence the
+    adaptive router's load estimates — persists across supersteps, so
+    congestion learned in one wave steers the next.
     """
     if program.tree is not embedding.guest and program.tree.parent_array != embedding.guest.parent_array:
         raise ValueError("program and embedding use different guest trees")
-    network = SynchronousNetwork(embedding.host, link_capacity=link_capacity)
+    network = SynchronousNetwork(embedding.host, link_capacity=link_capacity, router=router)
     host_name = getattr(embedding.host, "name", type(embedding.host).__name__)
     observing = recorder is not None and recorder.enabled
     if barrier:
@@ -135,7 +142,11 @@ def simulate_on_host(
 
 
 def simulate_on_guest(
-    program: TreeProgram, *, link_capacity: int = 1, recorder: Recorder | None = None
+    program: TreeProgram,
+    *,
+    link_capacity: int = 1,
+    recorder: Recorder | None = None,
+    router: Router | str | None = None,
 ) -> ExecutionStats:
     """Execute the program on the guest tree itself (the reference machine).
 
@@ -173,4 +184,6 @@ def simulate_on_guest(
 
     host = _TreeNet(program.tree)
     identity = Embedding(program.tree, host, {v: v for v in program.tree.nodes()})
-    return simulate_on_host(program, identity, link_capacity=link_capacity, recorder=recorder)
+    return simulate_on_host(
+        program, identity, link_capacity=link_capacity, recorder=recorder, router=router
+    )

@@ -16,10 +16,19 @@ type of program structure found in common divide-and-conquer algorithms"):
 ``prefix_sum``       up-sweep then down-sweep (Blelloch scan shape)
 ``neighbor_exchange`` every tree edge exchanges both ways, ``rounds`` times
 ``leaf_gossip``      each leaf sends to the root, all at once (hot path)
+``hot_spot``         every node bombards a few hot nodes, ``rounds`` times
+``permutation``      random guest permutation traffic, fresh each round
+
+The last two are *adversarial*: their traffic is not confined to tree
+edges, so through an embedding many equal-length host routes exist and a
+tie-breaking policy decides how badly flows collide — the workloads the
+congestion-aware :class:`~repro.simulate.routing.AdaptiveRouter` exists
+for (``benchmarks/bench_router.py`` measures the makespan delta).
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from ..trees.binary_tree import BinaryTree
@@ -31,6 +40,8 @@ __all__ = [
     "prefix_sum_program",
     "neighbor_exchange_program",
     "leaf_gossip_program",
+    "hot_spot_program",
+    "permutation_program",
     "PROGRAMS",
 ]
 
@@ -127,6 +138,53 @@ def leaf_gossip_program(tree: BinaryTree) -> TreeProgram:
     )
 
 
+def hot_spot_program(
+    tree: BinaryTree, rounds: int = 2, n_hot: int = 1, seed: int = 0
+) -> TreeProgram:
+    """Every non-hot node sends to a hot node each round (all at once).
+
+    The classic hot-spot stress: ``n_hot`` destinations (drawn uniformly
+    with ``seed``) absorb a message from every other node in every
+    superstep.  Traffic is heavily multi-hop, so on a host the
+    shortest-path ties near the hot images decide whether the surrounding
+    links share the load or a single link serialises it.  (When a hot
+    image lands on a degree-limited host corner — e.g. an X-tree leaf —
+    the *terminal* links bound the makespan and no routing policy can
+    help; interior images are where tie-breaking matters.)
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if not 1 <= n_hot <= tree.n:
+        raise ValueError(f"n_hot must be in [1, {tree.n}], got {n_hot}")
+    rng = random.Random(seed)
+    hot = rng.sample(list(tree.nodes()), n_hot)
+    step = tuple(
+        (v, hot[i % n_hot])
+        for i, v in enumerate(v for v in tree.nodes() if v not in set(hot))
+    )
+    return TreeProgram("hot_spot", tree, tuple(step for _ in range(rounds)))
+
+
+def permutation_program(tree: BinaryTree, rounds: int = 2, seed: int = 0) -> TreeProgram:
+    """Random permutation traffic: each round every node sends to a
+    distinct partner (a fresh derangement-ish permutation per round).
+
+    The standard adversarial benchmark for oblivious routing: uniformly
+    spread endpoints, but each round's full permutation in flight at once,
+    so equal-length host routes contend wherever the tie-break collides.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    rng = random.Random(seed)
+    nodes = list(tree.nodes())
+    steps = []
+    for _ in range(rounds):
+        targets = nodes[:]
+        rng.shuffle(targets)
+        steps.append(tuple((v, t) for v, t in zip(nodes, targets) if v != t))
+    return TreeProgram("permutation", tree, tuple(steps))
+
+
 #: registry for the benchmark harness
 PROGRAMS = {
     "reduction": reduction_program,
@@ -134,4 +192,6 @@ PROGRAMS = {
     "prefix_sum": prefix_sum_program,
     "neighbor_exchange": neighbor_exchange_program,
     "leaf_gossip": leaf_gossip_program,
+    "hot_spot": hot_spot_program,
+    "permutation": permutation_program,
 }
