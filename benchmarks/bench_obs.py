@@ -12,6 +12,11 @@ of the pre-PR engine loop (no recorder hooks, idle-cycle spinning):
   of >= 10^3 idle cycles the legacy loop spins per cycle while the new
   engine jumps, so this one is a large speedup, recorded for the history.
 
+Gated comparisons time the two contenders *interleaved* in alternating
+order with the cyclic GC paused, and gate on the median of per-pair time
+ratios — on shared CI runners, sequential best-of blocks charge machine
+drift to whichever side ran second and flip the 5% gate randomly.
+
 Every timed pair is also checked for *identical* ``DeliveryStats``, and
 the trace run asserts the acceptance identity (per-cycle link utilisation
 sums to ``link_traffic``).  Writes ``BENCH_PR2.json`` at the repo root and
@@ -23,6 +28,8 @@ sums to ``link_traffic``).  Writes ``BENCH_PR2.json`` at the repo root and
 from __future__ import annotations
 
 import argparse
+import gc
+import statistics
 import json
 import sys
 import time
@@ -114,6 +121,47 @@ def _best_of(fn, repeats: int) -> float:
     return best
 
 
+def _best_of_pair(fn_a, fn_b, repeats: int) -> tuple[float, float, float]:
+    """Interleaved A/B timing; returns ``(best_a, best_b, median_ratio)``.
+
+    Timing each side in its own sequential block charges any machine
+    drift (CI frequency scaling, a neighbour stealing the core) wholly
+    to whichever ran second — on shared runners that flips a 5%% gate in
+    either direction.  Three defences: interleave the samples so drift
+    lands on both sides, pause the cyclic GC so its pauses stay out of
+    individual samples, and gate on the *median of per-pair ratios*
+    ``b_i / a_i`` — adjacent samples share the machine's momentary speed,
+    so each ratio is drift-free, and the median discards the bursts that
+    survive.  The per-side minima are returned for reporting only.
+    """
+    best_a = best_b = float("inf")
+    ratios = []
+    fn_a(), fn_b()  # untimed warm-up: let the specializing interpreter settle
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for i in range(repeats):
+            # alternate who goes first: running second in a pair is not
+            # free (thermal ramp-down, sibling interference), and a fixed
+            # order turns that into a one-sided bias the median keeps
+            first, second = (fn_a, fn_b) if i % 2 == 0 else (fn_b, fn_a)
+            t0 = time.perf_counter()
+            first()
+            dt_1 = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            second()
+            dt_2 = time.perf_counter() - t0
+            dt_a, dt_b = (dt_1, dt_2) if i % 2 == 0 else (dt_2, dt_1)
+            best_a = min(best_a, dt_a)
+            best_b = min(best_b, dt_b)
+            ratios.append(dt_b / dt_a)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+    return best_a, best_b, statistics.median(ratios)
+
+
 def make_workloads(r: int, rounds: int, gap: int, seed: int = 0):
     """A dense pipelined schedule (overhead gate) and a sparse one (bugfix).
 
@@ -137,6 +185,7 @@ def make_workloads(r: int, rounds: int, gap: int, seed: int = 0):
 
 def bench_overhead(host, schedule, repeats: int) -> list[dict]:
     """Legacy vs instrumented engine (Null and Trace recorders)."""
+    repeats = max(repeats, 35)  # the 5% gate wants many paired samples; runs are ~ms
     net = SynchronousNetwork(host)
     net.deliver_scheduled(schedule)  # warm the routing tables once
     expected = _stats_key(legacy_deliver_scheduled(net, schedule))
@@ -147,8 +196,11 @@ def bench_overhead(host, schedule, repeats: int) -> list[dict]:
     assert _stats_key(traced) == expected
     assert trace_check.link_utilisation_totals() == traced.link_traffic
 
-    legacy = _best_of(lambda: legacy_deliver_scheduled(net, schedule), repeats)
-    null = _best_of(lambda: net.deliver_scheduled(schedule, recorder=null_rec), repeats)
+    legacy, null, null_ratio = _best_of_pair(
+        lambda: legacy_deliver_scheduled(net, schedule),
+        lambda: net.deliver_scheduled(schedule, recorder=null_rec),
+        repeats,
+    )
     trace = _best_of(
         lambda: net.deliver_scheduled(schedule, recorder=TraceRecorder()), repeats
     )
@@ -158,7 +210,7 @@ def bench_overhead(host, schedule, repeats: int) -> list[dict]:
             "params": {"messages": len(schedule), "host": host.name},
             "legacy_s": legacy,
             "new_s": null,
-            "overhead_pct": (null - legacy) / legacy * 100.0,
+            "overhead_pct": (null_ratio - 1.0) * 100.0,
             "gated": True,
         },
         {
@@ -179,14 +231,17 @@ def bench_sparse(host, schedule, gap: int, repeats: int) -> dict:
     assert _stats_key(net.deliver_scheduled(schedule)) == _stats_key(
         legacy_deliver_scheduled(net, schedule)
     )
-    legacy = _best_of(lambda: legacy_deliver_scheduled(net, schedule), repeats)
-    new = _best_of(lambda: net.deliver_scheduled(schedule), repeats)
+    legacy, new, ratio = _best_of_pair(
+        lambda: legacy_deliver_scheduled(net, schedule),
+        lambda: net.deliver_scheduled(schedule),
+        repeats,
+    )
     return {
         "name": "sparse_schedule_speedup",
         "params": {"messages": len(schedule), "gap": gap, "host": host.name},
         "legacy_s": legacy,
         "new_s": new,
-        "speedup": legacy / new,
+        "speedup": 1.0 / ratio,
         "gated": False,
     }
 

@@ -93,6 +93,11 @@ def trace_summary_text(recorder: TraceRecorder) -> str:
         f"busiest link {s['busiest_link']} ({s['busiest_link_traffic']} msgs), "
         f"mean moves/cycle {s['mean_moves_per_cycle']}"
     )
+    if "fault_events" in s:
+        head += (
+            f"\nfaults: {s['fault_events']} events applied, "
+            f"{s['reroutes']} reroutes, {s['messages_dropped']} messages dropped"
+        )
     rows = _phase_rows(recorder)
     if not rows:
         return head

@@ -12,13 +12,17 @@ Subcommands
             timing spans and counters (see ``repro.obs``); ``--router``
             picks the next-hop policy (``deterministic`` smallest-index
             shortest path, or congestion-aware ``adaptive`` — see
-            ``repro.simulate.routing``).
+            ``repro.simulate.routing``); ``--faults schedule.json`` injects
+            link/node failures while messages are in flight and prints a
+            degraded-mode fault report (exit 1 if messages were lost),
+            ``--ttl N`` bounds each message's cycles in flight.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .analysis.tables import format_claim_reports, markdown_table
 from .core.verification import (
@@ -97,10 +101,21 @@ def _cmd_simulate(args) -> int:
 
     n, tree = _make_tree(args)
     result = theorem1_embedding(tree)
+    faults = None
+    if args.faults:
+        from .simulate import FaultSchedule
+
+        try:
+            faults = FaultSchedule.from_json(Path(args.faults))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: cannot load fault schedule {args.faults}: {exc}", file=sys.stderr)
+            return 1
+    fault_mode = faults is not None or args.ttl is not None
     rows = []
     names = [args.program] if args.program else sorted(PROGRAMS)
     observing = bool(args.trace or args.metrics)
     recorder = TraceRecorder() if observing else NullRecorder()
+    reports = []
     for name in names:
         prog = PROGRAMS[name](tree)
         guest = simulate_on_guest(prog)
@@ -110,7 +125,12 @@ def _cmd_simulate(args) -> int:
             link_capacity=args.link_capacity,
             recorder=recorder,
             router=args.router,
+            faults=faults,
+            ttl=args.ttl,
         )
+        if fault_mode:
+            reports.append((name, host.report))
+            host = host.result
         rows.append(
             [
                 name,
@@ -123,8 +143,13 @@ def _cmd_simulate(args) -> int:
     print(
         f"guest: {args.family} tree, n={n}; host: X({args.height}); "
         f"link capacity {args.link_capacity}; router {args.router}"
+        + (f"; faults {args.faults}" if args.faults else "")
+        + (f"; ttl {args.ttl}" if args.ttl is not None else "")
     )
     print(markdown_table(["program", "messages", "guest cycles", "host cycles", "slowdown"], rows))
+    if fault_mode:
+        for name, report in reports:
+            print(f"fault report [{name}]: {report}")
     if args.trace:
         try:
             recorder.to_jsonl(args.trace)
@@ -138,6 +163,8 @@ def _cmd_simulate(args) -> int:
 
         print()
         print(metrics_report(recorder))
+    if fault_mode and any(not rep.complete for _, rep in reports):
+        return 1
     return 0
 
 
@@ -215,6 +242,12 @@ def main(argv: list[str] | None = None) -> int:
         help="next-hop policy: smallest-index shortest path, or congestion-aware adaptive",
     )
     p_sim.add_argument("--trace", metavar="PATH", help="record the host simulation and write a JSONL trace")
+    p_sim.add_argument("--faults", metavar="PATH",
+                       help="JSON fault schedule (see repro.simulate.faults) injected while "
+                            "messages are in flight; the run returns a degraded-mode report")
+    p_sim.add_argument("--ttl", type=int, default=None,
+                       help="per-message cycle budget: messages in flight longer are dropped "
+                            "('ttl' in the fault report) instead of waiting forever")
     p_sim.add_argument("--metrics", action="store_true",
                        help="print per-cycle metrics, timing spans and counters")
     p_sim.set_defaults(func=_cmd_simulate)

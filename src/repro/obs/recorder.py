@@ -6,7 +6,10 @@ emits two kinds of signals through a :class:`Recorder`:
 * **per-message lifecycle events** — ``inject`` (the message enters its
   source's output queue), ``hop`` (it crosses a directed link), ``queued``
   (link capacity forced it to wait a cycle), ``delivered`` (it reached its
-  destination);
+  destination); fault-tolerant deliveries add ``fault`` (a schedule event
+  was applied), ``reroute`` (a queued message's planned next hop died under
+  it) and ``dropped`` (TTL expiry or partition — the message will never be
+  delivered);
 * **per-cycle samples** — queue occupancy per node, utilisation per
   directed link, and the number of in-flight messages, captured at the end
   of every active cycle.
@@ -16,9 +19,22 @@ hoists that flag into a single local ``None`` check, so an uninstrumented
 delivery pays one predicate per event site and nothing else (the overhead
 is measured by ``benchmarks/bench_obs.py`` and gated at < 5%).
 
-:class:`TraceRecorder` captures everything in memory and can export the
-trace as JSONL (one event or sample per line) for the renderers in
-:mod:`repro.analysis.trace_report`.
+:class:`TraceRecorder` has two capture modes:
+
+* **in-memory** (default): everything accumulates in ``events`` /
+  ``cycles`` and :meth:`TraceRecorder.to_jsonl` exports the trace
+  afterwards (header first);
+* **streaming** (``TraceRecorder(path=..., flush_every=N)``): records are
+  appended to the JSONL file as they happen, in capture order, buffered
+  ``flush_every`` records at a time — memory stays bounded no matter how
+  many messages the run traces (the ROADMAP's 10^6+-message case).  The
+  header line (with the final summary) is written at :meth:`close`, so it
+  is the *last* line of a streamed file; :func:`repro.analysis.trace_report.load_trace`
+  accepts the header anywhere.  Aggregates (:meth:`summary`,
+  :meth:`link_utilisation_totals`, peaks) are maintained incrementally and
+  work identically in both modes; only the raw-list accessors
+  (:meth:`message_events`, :meth:`delivery_cycles`) need the in-memory
+  lists and raise in streaming mode.
 
 Invariants the test suite pins (``tests/test_obs.py``):
 
@@ -34,6 +50,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, TextIO
 
 __all__ = [
@@ -47,12 +64,16 @@ __all__ = [
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One lifecycle event of one message.
+    """One lifecycle event of one message (or of the network itself).
 
-    ``kind`` is one of ``inject`` / ``hop`` / ``queued`` / ``delivered``.
-    ``node`` is the location (for ``hop`` the link *source*; ``link_dst``
-    then holds the other endpoint).  ``phase`` indexes into the recorder's
-    ``phases`` list (supersteps, when driven through ``simulate_on_host``).
+    ``kind`` is one of ``inject`` / ``hop`` / ``queued`` / ``delivered`` /
+    ``fault`` / ``reroute`` / ``dropped``.  ``node`` is the location (for
+    ``hop`` the link *source*; ``link_dst`` then holds the other endpoint;
+    for ``fault`` the pair names the affected link or node).  ``detail``
+    carries the fault action (``fail_link``, ...) or the drop reason
+    (``ttl`` / ``partitioned``).  ``fault`` events are network-level and
+    use ``msg_id = -1``.  ``phase`` indexes into the recorder's ``phases``
+    list (supersteps, when driven through ``simulate_on_host``).
     """
 
     cycle: int
@@ -61,6 +82,7 @@ class TraceEvent:
     node: Any = None
     link_dst: Any = None
     phase: int = 0
+    detail: str | None = None
 
     def as_dict(self) -> dict:
         d = {"type": "event", "cycle": self.cycle, "kind": self.kind,
@@ -69,6 +91,8 @@ class TraceEvent:
             d["node"] = repr(self.node)
         if self.link_dst is not None:
             d["link_dst"] = repr(self.link_dst)
+        if self.detail is not None:
+            d["detail"] = self.detail
         return d
 
 
@@ -132,29 +156,76 @@ class Recorder:
     def on_cycle_end(self, cycle: int, queues, in_flight: int) -> None:
         """One active cycle finished; ``queues`` maps node -> deque."""
 
+    def on_fault(self, cycle: int, action: str, u, v) -> None:
+        """A fault-schedule event was applied at the ``cycle`` boundary.
+
+        ``action`` is one of ``fail_link`` / ``heal_link`` / ``fail_node``
+        / ``heal_node``; ``v`` is ``None`` for node events.
+        """
+
+    def on_reroute(self, cycle: int, msg, node) -> None:
+        """``msg``, queued at ``node``, lost its planned next hop to a
+        fault and will re-route against the updated tables."""
+
+    def on_dropped(self, cycle: int, msg, node, reason: str) -> None:
+        """``msg`` was dropped at ``node`` and will never be delivered;
+        ``reason`` is ``"ttl"`` or ``"partitioned"``."""
+
 
 class NullRecorder(Recorder):
     """The do-nothing default: ``enabled`` stays false."""
 
 
 class TraceRecorder(Recorder):
-    """In-memory capture of events and per-cycle samples.
+    """Capture of events and per-cycle samples, in memory or streamed.
 
-    ``events`` and ``cycles`` accumulate across every delivery driven with
-    this recorder; :meth:`begin_phase` partitions them (BSP supersteps
-    restart their cycle counters, so ``(phase, cycle)`` is the unique key).
+    With no arguments, ``events`` and ``cycles`` accumulate across every
+    delivery driven with this recorder; :meth:`begin_phase` partitions them
+    (BSP supersteps restart their cycle counters, so ``(phase, cycle)`` is
+    the unique key).
+
+    With ``path=...`` the recorder *streams*: records append to the JSONL
+    file in capture order (buffered ``flush_every`` at a time), the
+    in-memory lists stay empty, and :meth:`close` flushes the tail and
+    writes the summary header as the file's last line.  Use it as a
+    context manager for the close.
     """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, path: str | Path | None = None, flush_every: int = 1000) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.events: list[TraceEvent] = []
         self.cycles: list[CycleSample] = []
         self.phases: list[str] = []
         self.n_injected = 0
         self.n_delivered = 0
+        self.n_dropped = 0
+        self.n_faults = 0
+        self.n_reroutes = 0
         self._phase = 0
         self._cycle_links: Counter = Counter()
+        # incremental aggregates: identical in both modes, so summaries
+        # never need the raw lists
+        self._n_events = 0
+        self._active_cycles = 0
+        self._moved = 0
+        self._peak_in_flight = 0
+        self._peak_queue = 0
+        self._link_totals: Counter = Counter()
+        # streaming state
+        self.path = Path(path) if path is not None else None
+        self.flush_every = flush_every
+        self._buf: list[str] = []
+        self._fh: TextIO | None = None
+        if self.path is not None:
+            self._fh = open(self.path, "w", encoding="utf-8")
+
+    @property
+    def streaming(self) -> bool:
+        """True when this recorder writes to disk instead of memory."""
+        return self.path is not None
 
     # -- engine hooks --------------------------------------------------
     def begin_phase(self, label: str) -> None:
@@ -162,37 +233,99 @@ class TraceRecorder(Recorder):
         # not via ``simulate_on_host``) sits at the implicit phase 0; the
         # first explicit phase must not collide with it, so materialise an
         # "(unphased)" entry to keep those indices labelled correctly.
-        if not self.phases and (self.events or self.cycles):
+        if not self.phases and (self._n_events or self._active_cycles):
             self.phases.append("(unphased)")
         self.phases.append(label)
         self._phase = len(self.phases) - 1
 
+    def _record_event(self, event: TraceEvent) -> None:
+        self._n_events += 1
+        if self._fh is not None:
+            self._buf.append(json.dumps(event.as_dict()))
+            if len(self._buf) >= self.flush_every:
+                self.flush()
+        else:
+            self.events.append(event)
+
     def on_inject(self, cycle: int, msg) -> None:
         self.n_injected += 1
-        self.events.append(TraceEvent(cycle, "inject", msg.msg_id, msg.src, phase=self._phase))
+        self._record_event(TraceEvent(cycle, "inject", msg.msg_id, msg.src, phase=self._phase))
 
     def on_hop(self, cycle: int, msg, node, hop) -> None:
         self._cycle_links[(node, hop)] += 1
-        self.events.append(TraceEvent(cycle, "hop", msg.msg_id, node, hop, phase=self._phase))
+        self._record_event(TraceEvent(cycle, "hop", msg.msg_id, node, hop, phase=self._phase))
 
     def on_queued(self, cycle: int, msg, node) -> None:
-        self.events.append(TraceEvent(cycle, "queued", msg.msg_id, node, phase=self._phase))
+        self._record_event(TraceEvent(cycle, "queued", msg.msg_id, node, phase=self._phase))
 
     def on_delivered(self, cycle: int, msg, node) -> None:
         self.n_delivered += 1
-        self.events.append(TraceEvent(cycle, "delivered", msg.msg_id, node, phase=self._phase))
+        self._record_event(TraceEvent(cycle, "delivered", msg.msg_id, node, phase=self._phase))
+
+    def on_fault(self, cycle: int, action: str, u, v) -> None:
+        self.n_faults += 1
+        self._record_event(
+            TraceEvent(cycle, "fault", -1, u, v, phase=self._phase, detail=action)
+        )
+
+    def on_reroute(self, cycle: int, msg, node) -> None:
+        self.n_reroutes += 1
+        self._record_event(TraceEvent(cycle, "reroute", msg.msg_id, node, phase=self._phase))
+
+    def on_dropped(self, cycle: int, msg, node, reason: str) -> None:
+        self.n_dropped += 1
+        self._record_event(
+            TraceEvent(cycle, "dropped", msg.msg_id, node, phase=self._phase, detail=reason)
+        )
 
     def on_cycle_end(self, cycle: int, queues, in_flight: int) -> None:
-        self.cycles.append(
-            CycleSample(
-                cycle=cycle,
-                phase=self._phase,
-                queue_occupancy={n: len(q) for n, q in queues.items() if q},
-                link_utilisation=dict(self._cycle_links),
-                in_flight=in_flight,
-            )
+        sample = CycleSample(
+            cycle=cycle,
+            phase=self._phase,
+            queue_occupancy={n: len(q) for n, q in queues.items() if q},
+            link_utilisation=dict(self._cycle_links),
+            in_flight=in_flight,
         )
         self._cycle_links.clear()
+        self._active_cycles += 1
+        self._moved += sample.messages_moved
+        self._peak_in_flight = max(self._peak_in_flight, sample.in_flight)
+        self._peak_queue = max(self._peak_queue, sample.max_queue)
+        self._link_totals.update(sample.link_utilisation)
+        if self._fh is not None:
+            self._buf.append(json.dumps(sample.as_dict()))
+            if len(self._buf) >= self.flush_every:
+                self.flush()
+        else:
+            self.cycles.append(sample)
+
+    # -- streaming lifecycle -------------------------------------------
+    def flush(self) -> None:
+        """Write buffered records to the stream (no-op in-memory)."""
+        if self._fh is not None and self._buf:
+            self._fh.write("\n".join(self._buf) + "\n")
+            self._buf.clear()
+
+    def close(self) -> None:
+        """Flush the stream and append the summary header line.
+
+        Idempotent; only meaningful in streaming mode.  The header is the
+        *last* line of a streamed trace (the summary is only known at the
+        end) — ``load_trace`` accepts it at any position.
+        """
+        if self._fh is None:
+            return
+        self.flush()
+        header = {"type": "header", "phases": self.phases, **self.summary()}
+        self._fh.write(json.dumps(header) + "\n")
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- aggregations --------------------------------------------------
     def link_utilisation_totals(self) -> dict[tuple[Any, Any], int]:
@@ -200,37 +333,44 @@ class TraceRecorder(Recorder):
 
         Equals ``DeliveryStats.link_traffic`` of the recorded deliveries
         (summed, when the recorder spanned several) — the identity the
-        acceptance criteria gate on.
+        acceptance criteria gate on.  Maintained incrementally, so it works
+        in streaming mode too.
         """
-        totals: Counter = Counter()
-        for sample in self.cycles:
-            totals.update(sample.link_utilisation)
-        return dict(totals)
+        return dict(self._link_totals)
+
+    def _require_in_memory(self, what: str):
+        if self.streaming:
+            raise RuntimeError(
+                f"{what} needs the in-memory event list, but this recorder "
+                f"streams to {self.path}; load the file with "
+                "repro.analysis.trace_report.load_trace instead"
+            )
 
     def message_events(self, msg_id: int) -> list[TraceEvent]:
         """The lifecycle chain of one message, in emission order."""
+        self._require_in_memory("message_events")
         return [e for e in self.events if e.msg_id == msg_id]
 
     def delivery_cycles(self) -> dict[int, int]:
         """``msg_id -> cycle`` reconstructed from the ``delivered`` events."""
+        self._require_in_memory("delivery_cycles")
         return {e.msg_id: e.cycle for e in self.events if e.kind == "delivered"}
 
     @property
     def in_flight_peak(self) -> int:
-        return max((s.in_flight for s in self.cycles), default=0)
+        return self._peak_in_flight
 
     @property
     def max_queue(self) -> int:
-        return max((s.max_queue for s in self.cycles), default=0)
+        return self._peak_queue
 
     def summary(self) -> dict:
         """Headline numbers for the text renderer and the CLI."""
-        totals = self.link_utilisation_totals()
+        totals = self._link_totals
         busiest = max(totals.items(), key=lambda kv: kv[1], default=(None, 0))
-        active = len(self.cycles)
-        moved = sum(s.messages_moved for s in self.cycles)
-        return {
-            "events": len(self.events),
+        active = self._active_cycles
+        out = {
+            "events": self._n_events,
             "active_cycles": active,
             "n_phases": len(self.phases),
             "messages_injected": self.n_injected,
@@ -238,15 +378,25 @@ class TraceRecorder(Recorder):
             "links_used": len(totals),
             "busiest_link": None if busiest[0] is None else f"{busiest[0][0]!r}->{busiest[0][1]!r}",
             "busiest_link_traffic": busiest[1],
-            "peak_in_flight": self.in_flight_peak,
-            "peak_queue": self.max_queue,
-            "mean_moves_per_cycle": round(moved / active, 3) if active else 0.0,
+            "peak_in_flight": self._peak_in_flight,
+            "peak_queue": self._peak_queue,
+            "mean_moves_per_cycle": round(self._moved / active, 3) if active else 0.0,
         }
+        if self.n_faults or self.n_dropped or self.n_reroutes:
+            out["fault_events"] = self.n_faults
+            out["reroutes"] = self.n_reroutes
+            out["messages_dropped"] = self.n_dropped
+        return out
 
     # -- export --------------------------------------------------------
     def to_jsonl(self, path_or_file) -> None:
         """Write the full trace as JSONL: a header line, then every
-        per-cycle sample and event in capture order."""
+        per-cycle sample and event in capture order.
+
+        In-memory mode only — a streaming recorder already wrote its file
+        incrementally (call :meth:`close` and read that instead).
+        """
+        self._require_in_memory("to_jsonl")
         close = False
         if hasattr(path_or_file, "write"):
             fh: TextIO = path_or_file

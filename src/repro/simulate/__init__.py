@@ -7,6 +7,15 @@ into measured slowdown of real tree programs.
 
 from .compute import simulated_prefix, simulated_reduction
 from .engine import DeliveryStats, Message, SynchronousNetwork, UnreachableError
+from .faults import (
+    DegradedResult,
+    FaultEvent,
+    FaultReport,
+    FaultSchedule,
+    RepairError,
+    RepairResult,
+    repair_embedding,
+)
 from .mapping import ExecutionStats, simulate_on_guest, simulate_on_host
 from .routing import ROUTERS, AdaptiveRouter, Router, ShortestPathRouter, make_router
 from .programs import (
@@ -26,6 +35,13 @@ __all__ = [
     "DeliveryStats",
     "SynchronousNetwork",
     "UnreachableError",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultReport",
+    "DegradedResult",
+    "RepairError",
+    "RepairResult",
+    "repair_embedding",
     "Router",
     "ShortestPathRouter",
     "AdaptiveRouter",

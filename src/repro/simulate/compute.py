@@ -26,6 +26,8 @@ from typing import Any
 from ..core.embedding import Embedding
 from ..obs import Recorder, span
 from .engine import Message, SynchronousNetwork
+from .faults import DegradedResult, FaultReport, FaultSchedule
+from .mapping import _fold_report
 from .programs import broadcast_program, reduction_program
 from .routing import Router
 
@@ -47,7 +49,9 @@ def simulated_reduction(
     link_capacity: int = 1,
     recorder: Recorder | None = None,
     router: Router | str | None = None,
-) -> tuple[Any, int]:
+    faults: FaultSchedule | None = None,
+    ttl: int | None = None,
+) -> tuple[Any, int] | DegradedResult:
     """Run a leaves-to-root reduction on the host; return (result, cycles).
 
     Superstep ``k`` sends, for every height-``k`` guest node, its combined
@@ -59,11 +63,20 @@ def simulated_reduction(
     :func:`~repro.simulate.mapping.simulate_on_host` does — one recorder
     phase per superstep — so payload-carrying runs show up in traces and
     ``--metrics`` too; ``router`` selects the next-hop policy.
+
+    ``faults`` / ``ttl`` enable fault-tolerant mode: the schedule's cycles
+    are global across supersteps, lost messages simply never fold into
+    their parent's accumulator, and the return value becomes a
+    :class:`~repro.simulate.faults.DegradedResult` wrapping the
+    ``(partial_result, cycles)`` tuple — its report keys failures by
+    ``(superstep, msg_id)`` because message ids restart each superstep.
     """
     tree = embedding.guest
     _check_values(embedding, values)
     network = SynchronousNetwork(embedding.host, link_capacity=link_capacity, router=router)
     observing = recorder is not None and recorder.enabled
+    fault_mode = faults is not None or ttl is not None
+    report = FaultReport()
     acc: list[Any] = list(values)
     total_cycles = 0
     program = reduction_program(tree)
@@ -77,13 +90,22 @@ def simulated_reduction(
                 payloads[mid] = (dst, acc[src])
             if observing:
                 recorder.begin_phase(f"{program.name}[{k}]")
-            stats = network.deliver(messages, recorder=recorder)
+            if fault_mode:
+                stats = network.deliver_scheduled(
+                    [(0, m) for m in messages],
+                    recorder=recorder, faults=faults, ttl=ttl, fault_offset=total_cycles,
+                )
+                _fold_report(report, stats, key=lambda mid, k=k: (k, mid))
+            else:
+                stats = network.deliver(messages, recorder=recorder)
             total_cycles += stats.cycles
             # arrivals fold into the parent's accumulator (order-independent
             # because the operator is associative-commutative)
             for mid in stats.delivery_cycle:
                 dst, value = payloads[mid]
                 acc[dst] = combine(acc[dst], value)
+    if fault_mode:
+        return DegradedResult((acc[tree.root], total_cycles), report)
     return acc[tree.root], total_cycles
 
 
@@ -96,7 +118,9 @@ def simulated_prefix(
     link_capacity: int = 1,
     recorder: Recorder | None = None,
     router: Router | str | None = None,
-) -> tuple[list[Any], int]:
+    faults: FaultSchedule | None = None,
+    ttl: int | None = None,
+) -> tuple[list[Any], int] | DegradedResult:
     """Exclusive scan along root-to-node paths, computed distributedly.
 
     Result ``out[v]`` is the fold of the values on the path from the root
@@ -105,12 +129,17 @@ def simulated_prefix(
     path prefix; verified against a direct traversal in the tests.
 
     ``recorder`` / ``router`` thread through to the network exactly as in
-    :func:`simulated_reduction` (one recorder phase per superstep).
+    :func:`simulated_reduction` (one recorder phase per superstep), and so
+    do ``faults`` / ``ttl`` — with faults the return value is a
+    :class:`~repro.simulate.faults.DegradedResult` wrapping
+    ``(partial_out, cycles)``, failures keyed ``(superstep, msg_id)``.
     """
     tree = embedding.guest
     _check_values(embedding, values)
     network = SynchronousNetwork(embedding.host, link_capacity=link_capacity, router=router)
     observing = recorder is not None and recorder.enabled
+    fault_mode = faults is not None or ttl is not None
+    report = FaultReport()
     out: list[Any] = [identity] * tree.n
     total_cycles = 0
     program = broadcast_program(tree)
@@ -124,9 +153,18 @@ def simulated_prefix(
                 payloads[mid] = (dst, combine(out[src], values[src]))
             if observing:
                 recorder.begin_phase(f"{program.name}[{k}]")
-            stats = network.deliver(messages, recorder=recorder)
+            if fault_mode:
+                stats = network.deliver_scheduled(
+                    [(0, m) for m in messages],
+                    recorder=recorder, faults=faults, ttl=ttl, fault_offset=total_cycles,
+                )
+                _fold_report(report, stats, key=lambda mid, k=k: (k, mid))
+            else:
+                stats = network.deliver(messages, recorder=recorder)
             total_cycles += stats.cycles
             for mid in stats.delivery_cycle:
                 dst, value = payloads[mid]
                 out[dst] = value
+    if fault_mode:
+        return DegradedResult((out, total_cycles), report)
     return out, total_cycles

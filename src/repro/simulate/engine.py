@@ -20,11 +20,14 @@ from __future__ import annotations
 from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 from collections.abc import Iterable
-from typing import Any, Hashable
+from typing import TYPE_CHECKING, Any, Hashable
 
 from ..networks.base import Topology, bfs_distances_from
 from ..obs import Recorder
 from .routing import Router, make_router
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .faults import FaultEvent, FaultSchedule
 
 __all__ = ["Message", "DeliveryStats", "SynchronousNetwork", "UnreachableError"]
 
@@ -59,10 +62,25 @@ class DeliveryStats:
     #: traffic per directed link over the whole phase
     link_traffic: dict[tuple[Node, Node], int] = field(default_factory=dict)
     max_queue: int = 0
+    #: messages dropped instead of delivered, ``msg_id -> reason`` — the
+    #: reason is ``"ttl"`` (hop/cycle budget exhausted) or ``"partitioned"``
+    #: (destination unreachable with no heal event left to reconnect it);
+    #: only ever populated in fault-tolerant deliveries (``faults``/``ttl``)
+    failed: dict[int, str] = field(default_factory=dict)
+    #: queued messages whose planned next hop died under them (they stayed
+    #: at their sender and re-routed against the updated tables)
+    n_reroutes: int = 0
+    #: fault-schedule events this delivery actually applied, in order
+    faults_applied: list["FaultEvent"] = field(default_factory=list)
 
     @property
     def max_link_traffic(self) -> int:
         return max(self.link_traffic.values(), default=0)
+
+    @property
+    def complete(self) -> bool:
+        """True when no message was dropped (all delivered)."""
+        return not self.failed
 
 
 class SynchronousNetwork:
@@ -99,6 +117,10 @@ class SynchronousNetwork:
         self.router = make_router(router).bind(self)
         self.failed: set[frozenset] = set()
         self._dist_to: dict[Node, dict[Node, int]] = {}
+        #: True while deliver_scheduled runs — bare fail/heal calls are then
+        #: rejected (use a FaultSchedule for mid-delivery faults)
+        self._delivering = False
+        self._applying_fault = False
         for u, v in failed_links or ():
             self.fail_link(u, v)
 
@@ -114,6 +136,7 @@ class SynchronousNetwork:
         stays exact, so unrelated traffic keeps its warm caches across
         faults.
         """
+        self._check_not_delivering("fail_link")
         if v not in set(self.topology.neighbors(u)):
             raise ValueError(f"{u!r} -- {v!r} is not a link of {self.topology.name}")
         self.failed.add(frozenset((u, v)))
@@ -130,6 +153,7 @@ class SynchronousNetwork:
         more.  Tables the link cannot improve (``|dist(u) - dist(v)| <= 1``)
         are kept.
         """
+        self._check_not_delivering("heal_link")
         if v not in set(self.topology.neighbors(u)):
             raise ValueError(f"{u!r} -- {v!r} is not a link of {self.topology.name}")
         if frozenset((u, v)) not in self.failed:
@@ -139,6 +163,79 @@ class SynchronousNetwork:
 
     #: alias: fault-injection scripts read ``fail_link`` / ``heal_link``
     heal_link = restore_link
+
+    def fail_node(self, node: Node) -> None:
+        """Take a whole processor down: fail every live incident link."""
+        if not self.topology.has_node(node):
+            raise ValueError(f"{node!r} is not a node of {self.topology.name}")
+        for v in list(self.live_neighbors(node)):
+            self.fail_link(node, v)
+
+    def heal_node(self, node: Node) -> None:
+        """Bring a processor back: heal every incident link.
+
+        Inverse shorthand of :meth:`fail_node` — note it revives *all*
+        incident links, including any that were failed by separate link
+        events (node state is not tracked independently of its links).
+        """
+        if not self.topology.has_node(node):
+            raise ValueError(f"{node!r} is not a node of {self.topology.name}")
+        for v in self.topology.neighbors(node):
+            if frozenset((node, v)) in self.failed:
+                self.restore_link(node, v)
+
+    def _check_not_delivering(self, what: str) -> None:
+        """Reject bare fault calls while a delivery is running.
+
+        Before the fault subsystem existed, calling ``fail_link`` from a
+        recorder hook (or any other callback reached mid-delivery) silently
+        left queued messages routed via whatever tables they had already
+        consulted that cycle — neither the old nor the new routes, and not
+        reproducible.  Mid-delivery faults must go through a
+        :class:`~repro.simulate.faults.FaultSchedule`, which the engine
+        applies at well-defined cycle boundaries.
+        """
+        if self._delivering and not self._applying_fault:
+            raise RuntimeError(
+                f"{what} called while a delivery is in progress; mid-delivery "
+                "faults must be scripted with a FaultSchedule passed to "
+                "deliver_scheduled(..., faults=...) so they apply at cycle "
+                "boundaries (direct calls would leave in-flight messages on "
+                "stale routes)"
+            )
+
+    def _apply_fault_event(self, ev: "FaultEvent") -> list[tuple[Node, Node]]:
+        """Apply one schedule event; return the links that newly failed.
+
+        No-op events (failing a failed link, healing a live one) return an
+        empty list, keeping chaos schedules idempotent.  Invalid events
+        (non-edges, unknown nodes) raise :class:`ValueError` exactly like
+        the direct methods do.
+        """
+        self._applying_fault = True
+        try:
+            newly_failed: list[tuple[Node, Node]] = []
+            if ev.action == "fail_link":
+                if frozenset((ev.u, ev.v)) not in self.failed:
+                    self.fail_link(ev.u, ev.v)
+                    newly_failed.append((ev.u, ev.v))
+                elif ev.v not in set(self.topology.neighbors(ev.u)):
+                    raise ValueError(
+                        f"{ev.u!r} -- {ev.v!r} is not a link of {self.topology.name}"
+                    )
+            elif ev.action == "heal_link":
+                self.restore_link(ev.u, ev.v)
+            elif ev.action == "fail_node":
+                if not self.topology.has_node(ev.u):
+                    raise ValueError(f"{ev.u!r} is not a node of {self.topology.name}")
+                for v in list(self.live_neighbors(ev.u)):
+                    self.fail_link(ev.u, v)
+                    newly_failed.append((ev.u, v))
+            else:  # heal_node
+                self.heal_node(ev.u)
+            return newly_failed
+        finally:
+            self._applying_fault = False
 
     def _invalidate(self, u: Node, v: Node, *, healed: bool) -> None:
         """Drop exactly the cached distance tables the link change stales.
@@ -225,7 +322,12 @@ class SynchronousNetwork:
     # Execution
     # ------------------------------------------------------------------
     def deliver(
-        self, messages: list[Message], *, recorder: Recorder | None = None
+        self,
+        messages: list[Message],
+        *,
+        recorder: Recorder | None = None,
+        faults: "FaultSchedule | None" = None,
+        ttl: int | None = None,
     ) -> DeliveryStats:
         """Deliver all ``messages``, injected simultaneously at cycle 1.
 
@@ -234,13 +336,18 @@ class SynchronousNetwork:
         messages (FIFO per link); the rest wait in the node's output queue.
         Returns per-message delivery cycles and per-link traffic.
         """
-        return self.deliver_scheduled([(0, m) for m in messages], recorder=recorder)
+        return self.deliver_scheduled(
+            [(0, m) for m in messages], recorder=recorder, faults=faults, ttl=ttl
+        )
 
     def deliver_scheduled(
         self,
         schedule: list[tuple[int, Message]],
         *,
         recorder: Recorder | None = None,
+        faults: "FaultSchedule | None" = None,
+        ttl: int | None = None,
+        fault_offset: int = 0,
     ) -> DeliveryStats:
         """Deliver messages with per-message injection cycles.
 
@@ -265,14 +372,57 @@ class SynchronousNetwork:
         and the trace event chains are keyed by it, so a duplicate would
         silently overwrite an earlier delivery record.  Duplicates raise
         :class:`ValueError` before anything is injected.
+
+        **Fault-tolerant mode** — active when ``faults`` and/or ``ttl`` is
+        given (see :mod:`repro.simulate.faults`):
+
+        * ``faults`` is a :class:`~repro.simulate.faults.FaultSchedule`;
+          each event applies at the boundary entering its cycle, *before*
+          that cycle's forwarding, while messages are in flight.  A message
+          queued behind a link that just died stays at its sender and
+          re-routes against the updated tables on its next forwarding
+          (counted in ``DeliveryStats.n_reroutes``).  ``fault_offset``
+          shifts the schedule's cycle origin — the BSP driver passes the
+          global cycle count so one schedule spans many supersteps; events
+          at or before the offset are treated as already applied.
+        * ``ttl`` bounds the cycles a routed message may spend in the
+          network after injection; on expiry it is dropped with reason
+          ``"ttl"`` in ``DeliveryStats.failed`` instead of occupying queues
+          forever.
+        * a message whose destination became unreachable waits (burning
+          TTL) while the schedule still holds future events that might
+          reconnect it; once none remain it is dropped with reason
+          ``"partitioned"``.  A partitioned network therefore terminates
+          with a structured ``failed`` report — never an infinite loop —
+          and whole-network stalls fast-forward the clock to the next
+          event instead of spinning through dead cycles.
+
+        Without ``faults``/``ttl`` the semantics are exactly historical:
+        an unreachable destination raises :class:`UnreachableError`.
         """
         rec = recorder if recorder is not None and recorder.enabled else None
         router = self.router
         adaptive = router.adaptive
+        fault_mode = faults is not None or ttl is not None
+        # events after the offset, in application order; cycle-0 events of
+        # an unshifted schedule describe the initial state and still apply
+        fev: list = []
+        if faults is not None:
+            fev = [
+                e
+                for e in faults.events
+                if e.cycle > fault_offset or (fault_offset == 0 and e.cycle == 0)
+            ]
+        fi = 0
+        n_fev = len(fev)
         stats = DeliveryStats(cycles=0, n_messages=len(schedule))
         # queues[node] holds (seq, message) tuples in FIFO order
         queues: dict[Node, deque[tuple[int, Message]]] = defaultdict(deque)
         pending: dict[int, list[tuple[int, Message]]] = defaultdict(list)
+        # fault-mode bookkeeping: injection cycle per message (TTL) and the
+        # computed-but-unsent next hop of queued messages (reroute events)
+        inject_at: dict[int, int] = {}
+        planned: dict[int, tuple[Node, Node, Message]] = {}
         seq = 0
         last_self = 0
         seen_ids: set[int] = set()
@@ -300,63 +450,166 @@ class SynchronousNetwork:
             cycle_links: Counter = Counter()
         cycle = 0
         in_network = 0  # routed messages injected but not yet delivered
-        while in_network or pending:
-            if not in_network:
-                # network drained: jump over the idle gap (all keys below
-                # the current cycle were already popped, so min() is next)
-                cycle = min(pending)
-            for s, m in pending.pop(cycle, ()):
-                queues[m.src].append((s, m))
-                in_network += 1
+        # hot-loop locals: at benchmark volume the repeated attribute
+        # lookups are a measurable slice of the whole delivery
+        next_hop = self.next_hop
+        link_capacity = self.link_capacity
+        link_traffic = stats.link_traffic
+        delivery_cycle = stats.delivery_cycle
+        max_queue = 0
+        fast = not fault_mode and not adaptive and rec is None
+        self._delivering = True
+        try:
+            while in_network or pending:
+                if not in_network:
+                    # network drained: jump over the idle gap (all keys below
+                    # the current cycle were already popped, so min() is next)
+                    cycle = min(pending)
+                for s, m in pending.pop(cycle, ()):
+                    queues[m.src].append((s, m))
+                    in_network += 1
+                    if fault_mode:
+                        inject_at[m.msg_id] = cycle
+                    if rec is not None:
+                        rec.on_inject(cycle, m)
+                cycle += 1
+                while fi < n_fev and fev[fi].cycle - fault_offset <= cycle:
+                    ev = fev[fi]
+                    fi += 1
+                    newly_failed = self._apply_fault_event(ev)
+                    stats.faults_applied.append(ev)
+                    if rec is not None:
+                        rec.on_fault(cycle, ev.action, ev.u, ev.v)
+                    if newly_failed and planned:
+                        dead = {frozenset(l) for l in newly_failed}
+                        for msg_id, (at, hop, msg) in list(planned.items()):
+                            if frozenset((at, hop)) in dead:
+                                del planned[msg_id]
+                                stats.n_reroutes += 1
+                                if rec is not None:
+                                    rec.on_reroute(cycle, msg, at)
+                moved_any = False
+                arrivals: dict[Node, list[tuple[int, Message]]] = defaultdict(list)
+                for node in list(queues):
+                    q = queues[node]
+                    if not q:
+                        continue
+                    if len(q) > max_queue:
+                        max_queue = len(q)
+                    sent_per_link: dict[Node, int] = defaultdict(int)
+                    kept: deque[tuple[int, Message]] = deque()
+                    if fast:
+                        # the common configuration (deterministic router, no
+                        # recorder, no faults) forwards with zero bookkeeping
+                        # beyond the stats — branch-identical to the
+                        # uninstrumented engine the overhead gates compare to
+                        while q:
+                            s, m = q.popleft()
+                            hop = next_hop(node, m.dst)
+                            if sent_per_link[hop] < link_capacity:
+                                sent_per_link[hop] += 1
+                                key = (node, hop)
+                                link_traffic[key] = link_traffic.get(key, 0) + 1
+                                arrivals[hop].append((s, m))
+                            else:
+                                kept.append((s, m))
+                        queues[node] = kept
+                        continue
+                    while q:
+                        s, m = q.popleft()
+                        if fault_mode:
+                            if ttl is not None and cycle - inject_at[m.msg_id] > ttl:
+                                stats.failed[m.msg_id] = "ttl"
+                                planned.pop(m.msg_id, None)
+                                in_network -= 1
+                                if rec is not None:
+                                    rec.on_dropped(cycle, m, node, "ttl")
+                                continue
+                            try:
+                                if adaptive:
+                                    hop = router.next_hop(node, m.dst, m.msg_id)
+                                else:
+                                    hop = next_hop(node, m.dst)
+                            except UnreachableError:
+                                if fi < n_fev:
+                                    # a future event may reconnect it: wait
+                                    planned.pop(m.msg_id, None)
+                                    kept.append((s, m))
+                                    if rec is not None:
+                                        rec.on_queued(cycle, m, node)
+                                    continue
+                                stats.failed[m.msg_id] = "partitioned"
+                                planned.pop(m.msg_id, None)
+                                in_network -= 1
+                                if rec is not None:
+                                    rec.on_dropped(cycle, m, node, "partitioned")
+                                continue
+                        elif adaptive:
+                            hop = router.next_hop(node, m.dst, m.msg_id)
+                        else:
+                            hop = next_hop(node, m.dst)
+                        if sent_per_link[hop] < link_capacity:
+                            sent_per_link[hop] += 1
+                            key = (node, hop)
+                            link_traffic[key] = link_traffic.get(key, 0) + 1
+                            if adaptive:
+                                cycle_links[key] += 1
+                            arrivals[hop].append((s, m))
+                            if fault_mode:
+                                moved_any = True
+                                planned.pop(m.msg_id, None)
+                            if rec is not None:
+                                rec.on_hop(cycle, m, node, hop)
+                        else:
+                            kept.append((s, m))
+                            if fault_mode:
+                                planned[m.msg_id] = (node, hop, m)
+                            if rec is not None:
+                                rec.on_queued(cycle, m, node)
+                    queues[node] = kept
+                for node, arrived in arrivals.items():
+                    for s, m in arrived:
+                        if m.dst == node:
+                            delivery_cycle[m.msg_id] = cycle
+                            in_network -= 1
+                            if rec is not None:
+                                rec.on_delivered(cycle, m, node)
+                        else:
+                            queues[node].append((s, m))
+                # keep FIFO fairness stable: re-sort merged queues by sequence
+                for node in arrivals:
+                    if queues[node]:
+                        queues[node] = deque(sorted(queues[node]))
                 if rec is not None:
-                    rec.on_inject(cycle, m)
-            cycle += 1
-            arrivals: dict[Node, list[tuple[int, Message]]] = defaultdict(list)
-            for node in list(queues):
-                q = queues[node]
-                if not q:
-                    continue
-                stats.max_queue = max(stats.max_queue, len(q))
-                sent_per_link: dict[Node, int] = defaultdict(int)
-                kept: deque[tuple[int, Message]] = deque()
-                while q:
-                    s, m = q.popleft()
-                    if adaptive:
-                        hop = router.next_hop(node, m.dst, m.msg_id)
+                    rec.on_cycle_end(cycle, queues, in_network)
+                if adaptive:
+                    router.end_cycle(cycle, cycle_links, queues)
+                    cycle_links = Counter()
+                if fault_mode and in_network and not moved_any:
+                    # whole network stalled: every queued message is waiting
+                    # on a future heal (or doomed).  Fast-forward to whatever
+                    # can change the picture — the next injection or the next
+                    # fault event — or, with neither left, drop the stragglers
+                    # as partitioned so the run terminates with a report.
+                    targets = []
+                    if pending:
+                        targets.append(min(pending))
+                    if fi < n_fev:
+                        targets.append(fev[fi].cycle - fault_offset - 1)
+                    if targets:
+                        cycle = max(cycle, min(targets))
                     else:
-                        hop = self.next_hop(node, m.dst)
-                    if sent_per_link[hop] < self.link_capacity:
-                        sent_per_link[hop] += 1
-                        key = (node, hop)
-                        stats.link_traffic[key] = stats.link_traffic.get(key, 0) + 1
-                        if adaptive:
-                            cycle_links[key] += 1
-                        arrivals[hop].append((s, m))
-                        if rec is not None:
-                            rec.on_hop(cycle, m, node, hop)
-                    else:
-                        kept.append((s, m))
-                        if rec is not None:
-                            rec.on_queued(cycle, m, node)
-                queues[node] = kept
-            for node, arrived in arrivals.items():
-                for s, m in arrived:
-                    if m.dst == node:
-                        stats.delivery_cycle[m.msg_id] = cycle
-                        in_network -= 1
-                        if rec is not None:
-                            rec.on_delivered(cycle, m, node)
-                    else:
-                        queues[node].append((s, m))
-            # keep FIFO fairness stable: re-sort merged queues by sequence
-            for node in arrivals:
-                if queues[node]:
-                    queues[node] = deque(sorted(queues[node]))
-            if rec is not None:
-                rec.on_cycle_end(cycle, queues, in_network)
-            if adaptive:
-                router.end_cycle(cycle, cycle_links, queues)
-                cycle_links = Counter()
+                        for node in list(queues):
+                            for s, m in queues[node]:
+                                stats.failed[m.msg_id] = "partitioned"
+                                planned.pop(m.msg_id, None)
+                                in_network -= 1
+                                if rec is not None:
+                                    rec.on_dropped(cycle, m, node, "partitioned")
+                            queues[node].clear()
+        finally:
+            self._delivering = False
+        stats.max_queue = max_queue
         # the phase lasts until the final delivery, including a self-message
         # "delivered free" at a late scheduled cycle
         stats.cycles = max(cycle, last_self)

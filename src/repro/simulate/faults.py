@@ -1,0 +1,456 @@
+"""Fault injection: scripted/random link and node failures, repair, reports.
+
+The paper's Theorem 1 leaves deliberate slack in every host processor (the
+construction's "free places" argument keeps the load at 16 while the
+algorithm only ever needs part of it), and a production simulator wants to
+spend exactly that slack on surviving faults.  This module supplies the
+declarative side of the story; the cycle-level semantics live in
+:meth:`repro.simulate.engine.SynchronousNetwork.deliver_scheduled`:
+
+* :class:`FaultEvent` / :class:`FaultSchedule` — a script of
+  ``(cycle, fail_link | heal_link | fail_node | heal_node)`` events the
+  engine applies at cycle boundaries *while messages are in flight*.
+  Schedules load from JSON (:meth:`FaultSchedule.from_json`), compose
+  (:meth:`FaultSchedule.compose`), and can be generated as seeded random
+  chaos (:meth:`FaultSchedule.chaos`).  A node failure is shorthand for
+  failing every incident link.
+* :class:`FaultReport` — the structured outcome of a faulted run: events
+  actually applied, per-message failure reasons (``"ttl"`` /
+  ``"partitioned"``), and the reroute count.
+* :class:`DegradedResult` — what :func:`~repro.simulate.mapping.simulate_on_host`
+  and the compute wrappers return when a fault schedule is supplied: the
+  partial result plus the report, instead of an exception or a hang.
+* :func:`repair_embedding` — when a host processor dies, remap its guest
+  images onto nearby live hosts within the load-16 slack and report the
+  new dilation/load, so Theorem 1's constants can be re-checked under
+  attrition (embed with ``capacity < 16`` — e.g.
+  ``embed_binary_tree(tree, capacity=12)`` — to have headroom).
+
+Determinism: schedules are plain data, chaos generation is seeded, and the
+engine applies events at fixed cycle boundaries, so a faulted run is
+exactly as reproducible as a fault-free one.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Hashable
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultReport",
+    "DegradedResult",
+    "RepairError",
+    "RepairResult",
+    "repair_embedding",
+]
+
+Node = Hashable
+
+#: the four scriptable actions; ``*_link`` events name both endpoints,
+#: ``*_node`` events name one node (= all incident links at once)
+FAULT_ACTIONS = ("fail_link", "heal_link", "fail_node", "heal_node")
+
+
+def _node_from_json(value):
+    """JSON form of a node label back to the canonical hashable form.
+
+    Topology labels are ints (hypercube) or (nested) tuples of ints
+    (X-tree ``(level, index)``, grid coordinates, CCC ``(corner, pos)``);
+    JSON has no tuples, so lists round-trip as tuples, recursively.
+    """
+    if isinstance(value, list):
+        return tuple(_node_from_json(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scripted fault: at ``cycle``, perform ``action`` on ``u`` (and ``v``).
+
+    ``cycle`` semantics: the event takes effect at the boundary *entering*
+    that cycle, before any forwarding of the cycle happens — so an event at
+    cycle ``k`` affects the hops taken during cycle ``k``.  Events at cycle
+    0 describe the initial state (applied before the first hop).
+    """
+
+    cycle: int
+    action: str
+    u: Node
+    v: Node | None = None
+
+    def __post_init__(self):
+        if self.cycle < 0:
+            raise ValueError(f"fault cycle must be non-negative, got {self.cycle}")
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}: expected one of {FAULT_ACTIONS}"
+            )
+        if self.action.endswith("_link") and self.v is None:
+            raise ValueError(f"{self.action} needs both endpoints, got v=None")
+        if self.action.endswith("_node") and self.v is not None:
+            raise ValueError(f"{self.action} names a single node, got v={self.v!r}")
+
+    def as_dict(self) -> dict:
+        d = {"cycle": self.cycle, "action": self.action, "u": self.u}
+        if self.v is not None:
+            d["v"] = self.v
+        return d
+
+
+class FaultSchedule:
+    """An immutable, cycle-sorted script of :class:`FaultEvent`\\ s.
+
+    Pass one to ``deliver_scheduled(..., faults=...)`` (or the
+    ``simulate_on_host`` / ``simulated_reduction`` / CLI equivalents) and
+    the engine applies each event at its cycle boundary, mid-delivery.
+    Equal-cycle events apply in the order given.
+    """
+
+    def __init__(self, events: Any = ()):
+        evs = []
+        for e in events:
+            if not isinstance(e, FaultEvent):
+                raise TypeError(f"expected FaultEvent, got {type(e)!r}")
+            evs.append(e)
+        # stable sort: equal-cycle events keep their given order
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(evs, key=lambda e: e.cycle)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultSchedule) and self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        span = f"cycles {self.events[0].cycle}..{self.events[-1].cycle}" if self.events else "empty"
+        return f"FaultSchedule({len(self.events)} events, {span})"
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_obj(cls, obj: dict | list) -> "FaultSchedule":
+        """Build from parsed JSON: ``{"events": [...]}`` or a bare list.
+
+        Each entry is ``{"cycle": int, "action": str, "u": node, "v": node?}``;
+        list-valued node labels become tuples (recursively), matching the
+        tuple labels of the grid/X-tree/CCC topologies.
+        """
+        entries = obj["events"] if isinstance(obj, dict) else obj
+        events = []
+        for entry in entries:
+            events.append(
+                FaultEvent(
+                    cycle=entry["cycle"],
+                    action=entry["action"],
+                    u=_node_from_json(entry["u"]),
+                    v=_node_from_json(entry["v"]) if "v" in entry else None,
+                )
+            )
+        return cls(events)
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FaultSchedule":
+        """Load a schedule from a JSON file (see :meth:`from_obj`)."""
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_obj(json.load(fh))
+
+    def to_obj(self) -> dict:
+        """The JSON-serialisable form (tuples become lists on dump)."""
+        return {"events": [e.as_dict() for e in self.events]}
+
+    def to_json(self, path: str | Path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_obj(), fh, indent=2)
+            fh.write("\n")
+
+    def compose(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Merge two scripts into one (stable by cycle; self's ties first)."""
+        return FaultSchedule([*self.events, *other.events])
+
+    __or__ = compose
+
+    def shifted(self, offset: int) -> "FaultSchedule":
+        """The same script, ``offset`` cycles later."""
+        return FaultSchedule(
+            [FaultEvent(e.cycle + offset, e.action, e.u, e.v) for e in self.events]
+        )
+
+    @classmethod
+    def single_link(
+        cls, u: Node, v: Node, *, fail_at: int, heal_at: int | None = None
+    ) -> "FaultSchedule":
+        """The canonical experiment: one link down at ``fail_at`` (healed at
+        ``heal_at`` when given) — the mid-delivery single-fault probe the
+        benchmarks gate on."""
+        events = [FaultEvent(fail_at, "fail_link", u, v)]
+        if heal_at is not None:
+            if heal_at <= fail_at:
+                raise ValueError(f"heal_at must be after fail_at, got {heal_at} <= {fail_at}")
+            events.append(FaultEvent(heal_at, "heal_link", u, v))
+        return cls(events)
+
+    @classmethod
+    def chaos(
+        cls,
+        topology,
+        *,
+        n_cycles: int,
+        link_rate: float,
+        seed: int = 0,
+        heal_after: int | None = 8,
+        node_rate: float = 0.0,
+    ) -> "FaultSchedule":
+        """Seeded random chaos: per cycle, fail a uniform link with
+        probability ``link_rate`` (and a uniform node with ``node_rate``),
+        healing each failure ``heal_after`` cycles later (``None`` = never).
+
+        Fully deterministic in ``seed``.  Overlapping scripts are legal:
+        failing an already-failed link is a no-op, and a heal always
+        revives the link, so interleaved fail/heal windows on one link
+        resolve in schedule order (the engine applies events at cycle
+        boundaries in sequence).
+        """
+        if not 0.0 <= link_rate <= 1.0 or not 0.0 <= node_rate <= 1.0:
+            raise ValueError("fault rates must be probabilities in [0, 1]")
+        if n_cycles < 0:
+            raise ValueError(f"n_cycles must be non-negative, got {n_cycles}")
+        rng = random.Random(seed)
+        edges = list(topology.edges())
+        nodes = list(topology.nodes())
+        events: list[FaultEvent] = []
+        for c in range(1, n_cycles + 1):
+            if link_rate and rng.random() < link_rate:
+                u, v = edges[rng.randrange(len(edges))]
+                events.append(FaultEvent(c, "fail_link", u, v))
+                if heal_after is not None:
+                    events.append(FaultEvent(c + heal_after, "heal_link", u, v))
+            if node_rate and rng.random() < node_rate:
+                n = nodes[rng.randrange(len(nodes))]
+                events.append(FaultEvent(c, "fail_node", n))
+                if heal_after is not None:
+                    events.append(FaultEvent(c + heal_after, "heal_node", n))
+        return cls(events)
+
+
+# ----------------------------------------------------------------------
+# Outcome reporting
+# ----------------------------------------------------------------------
+@dataclass
+class FaultReport:
+    """Structured outcome of one faulted run.
+
+    ``failed`` maps message keys to the drop reason — ``"ttl"`` (hop/cycle
+    budget exhausted) or ``"partitioned"`` (destination unreachable with no
+    heal event left that could reconnect it).  Keys are engine ``msg_id``\\ s;
+    the compute wrappers, whose ids restart per superstep, use
+    ``(superstep, msg_id)`` tuples.
+    """
+
+    n_messages: int = 0
+    n_delivered: int = 0
+    applied: tuple[FaultEvent, ...] = ()
+    failed: dict[Any, str] = field(default_factory=dict)
+    n_reroutes: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when every routed message was delivered despite the faults."""
+        return not self.failed
+
+    def reasons(self) -> Counter:
+        """Failure-reason histogram, e.g. ``{"partitioned": 3, "ttl": 1}``."""
+        return Counter(self.failed.values())
+
+    def summary(self) -> dict:
+        return {
+            "n_messages": self.n_messages,
+            "n_delivered": self.n_delivered,
+            "n_failed": len(self.failed),
+            "fault_events_applied": len(self.applied),
+            "n_reroutes": self.n_reroutes,
+            "failure_reasons": dict(self.reasons()),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        reasons = ", ".join(f"{k}: {v}" for k, v in sorted(self.reasons().items()))
+        return (
+            f"faults: {len(self.applied)} events applied, {self.n_reroutes} reroutes; "
+            f"{self.n_delivered}/{self.n_messages} messages delivered"
+            + (f", {len(self.failed)} failed ({reasons})" if self.failed else "")
+        )
+
+
+@dataclass
+class DegradedResult:
+    """A partial simulation outcome under faults: result + fault report.
+
+    Returned by :func:`~repro.simulate.mapping.simulate_on_host`,
+    :func:`~repro.simulate.compute.simulated_reduction` and
+    :func:`~repro.simulate.compute.simulated_prefix` whenever a fault
+    schedule is supplied — even when every message survived (then
+    ``complete`` is True and ``result`` equals what the fault-free call
+    would have returned, modulo the extra cycles the faults cost).
+    """
+
+    result: Any
+    report: FaultReport
+
+    @property
+    def complete(self) -> bool:
+        return self.report.complete
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.result}\n{self.report}"
+
+
+# ----------------------------------------------------------------------
+# Embedding repair under host attrition
+# ----------------------------------------------------------------------
+class RepairError(RuntimeError):
+    """No live host with remaining slack can absorb an orphaned guest."""
+
+
+@dataclass
+class RepairResult:
+    """Outcome of :func:`repair_embedding`: the new embedding + quality delta."""
+
+    embedding: Any
+    #: guest node -> (old host, new host), for every remapped image
+    moved: dict[int, tuple[Any, Any]]
+    dilation_before: int
+    dilation_after: int
+    load_factor_before: int
+    load_factor_after: int
+
+    @property
+    def n_moved(self) -> int:
+        return len(self.moved)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"repair: moved {self.n_moved} guest images; dilation "
+            f"{self.dilation_before} -> {self.dilation_after}, load "
+            f"{self.load_factor_before} -> {self.load_factor_after}"
+        )
+
+
+def repair_embedding(
+    embedding,
+    dead_nodes,
+    *,
+    max_load: int = 16,
+    failed_links=(),
+) -> RepairResult:
+    """Remap the guest images of dead host nodes onto nearby live hosts.
+
+    The repair is greedy and deterministic: dead hosts are processed in
+    canonical index order, their resident guests in guest order; each
+    orphaned guest moves to the *nearest* live host (BFS over live links,
+    skipping every dead node) whose load is still below ``max_load``,
+    breaking distance ties towards the candidate minimising the new
+    maximum distance to the images of the guest's tree neighbours (then
+    smallest host index).  This is exactly the slack argument of Theorem 1
+    run in reverse: the construction guarantees load <= 16, so any
+    embedding built with headroom (e.g. ``embed_binary_tree(tree,
+    capacity=12)``) can absorb a dying processor's 12 images into its
+    neighbourhood without breaching the paper's load constant — at a
+    dilation cost the returned report makes explicit.
+
+    Raises :class:`RepairError` when some orphan has no reachable live
+    host with remaining slack (the attrition exceeded the slack).
+    """
+    host = embedding.host
+    guest = embedding.guest
+    dead = set(dead_nodes)
+    for d in dead:
+        if not host.has_node(d):
+            raise ValueError(f"{d!r} is not a node of {host.name}")
+    down = {frozenset(l) for l in failed_links}
+
+    def live_neighbors(node):
+        for v in host.neighbors(node):
+            if v not in dead and frozenset((node, v)) not in down:
+                yield v
+
+    new_phi = dict(embedding.phi)
+    loads = Counter(new_phi.values())
+    dilation_before = embedding.dilation()
+    load_before = embedding.load_factor()
+    moved: dict[int, tuple[Any, Any]] = {}
+
+    for d in sorted(dead, key=host.index):
+        orphans = sorted(v for v, h in new_phi.items() if h == d)
+        if not orphans:
+            continue
+        # BFS ring order from the dead host over the live subgraph: start
+        # from its live neighbours (the dead node itself cannot relay).
+        ring: list[tuple[int, Any]] = []
+        seen = {d}
+        frontier = deque()
+        for v in sorted(host.neighbors(d), key=host.index):
+            if v not in dead and frozenset((d, v)) not in down:
+                seen.add(v)
+                frontier.append((1, v))
+                ring.append((1, v))
+        while frontier:
+            dist, u = frontier.popleft()
+            for v in sorted(live_neighbors(u), key=host.index):
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append((dist + 1, v))
+                    ring.append((dist + 1, v))
+        for g in orphans:
+            neighbor_images = [
+                new_phi[w]
+                for w in guest.neighbors(g)
+                if new_phi[w] != d and new_phi[w] not in dead
+            ]
+            best = None
+            best_key = None
+            best_dist = None
+            for dist, cand in ring:
+                if best_dist is not None and dist > best_dist:
+                    break  # rings are distance-sorted: nearest tier decided
+                if loads[cand] >= max_load:
+                    continue
+                stretch = max(
+                    (host.distance(cand, img) for img in neighbor_images),
+                    default=0,
+                )
+                key = (stretch, host.index(cand))
+                if best_key is None or key < best_key:
+                    best, best_key, best_dist = cand, key, dist
+            if best is None:
+                raise RepairError(
+                    f"no live host with load < {max_load} can absorb guest {g} "
+                    f"(dead host {d!r}): attrition exceeds the embedding's slack"
+                )
+            new_phi[g] = best
+            loads[d] -= 1
+            loads[best] += 1
+            moved[g] = (d, best)
+
+    from ..core.embedding import Embedding  # deferred: simulate imports core
+
+    repaired = Embedding(guest, host, new_phi)
+    return RepairResult(
+        embedding=repaired,
+        moved=moved,
+        dilation_before=dilation_before,
+        dilation_after=repaired.dilation(),
+        load_factor_before=load_before,
+        load_factor_after=repaired.load_factor(),
+    )

@@ -17,11 +17,22 @@ from dataclasses import dataclass
 
 from ..core.embedding import Embedding
 from ..obs import Recorder, span
-from .engine import Message, SynchronousNetwork
+from .engine import DeliveryStats, Message, SynchronousNetwork
+from .faults import DegradedResult, FaultReport, FaultSchedule
 from .programs import TreeProgram
 from .routing import Router
 
 __all__ = ["ExecutionStats", "simulate_on_host", "simulate_on_guest"]
+
+
+def _fold_report(report: FaultReport, stats: DeliveryStats, key=lambda mid: mid) -> None:
+    """Accumulate one delivery's fault outcome into a run-level report."""
+    report.n_messages += stats.n_messages
+    report.n_delivered += len(stats.delivery_cycle)
+    report.applied = (*report.applied, *stats.faults_applied)
+    report.n_reroutes += stats.n_reroutes
+    for mid, reason in stats.failed.items():
+        report.failed[key(mid)] = reason
 
 
 @dataclass
@@ -61,7 +72,9 @@ def simulate_on_host(
     barrier: bool = True,
     recorder: Recorder | None = None,
     router: Router | str | None = None,
-) -> ExecutionStats:
+    faults: FaultSchedule | None = None,
+    ttl: int | None = None,
+) -> ExecutionStats | DegradedResult:
     """Execute ``program`` on ``embedding.host`` and return cycle counts.
 
     With ``barrier=True`` (default) supersteps are barrier-synchronised:
@@ -84,17 +97,29 @@ def simulate_on_host(
     :mod:`repro.simulate.routing`); the one network — and hence the
     adaptive router's load estimates — persists across supersteps, so
     congestion learned in one wave steers the next.
+
+    ``faults`` / ``ttl`` switch the underlying deliveries into
+    fault-tolerant mode (see :mod:`repro.simulate.faults`): the schedule's
+    events fire at *global* cycle boundaries while messages are in flight
+    (in barrier mode the global clock accumulates across supersteps), and
+    the return value becomes a :class:`~repro.simulate.faults.DegradedResult`
+    wrapping the :class:`ExecutionStats` with a
+    :class:`~repro.simulate.faults.FaultReport` — undeliverable messages
+    land in the report's ``failed`` map instead of raising or hanging.
     """
     if program.tree is not embedding.guest and program.tree.parent_array != embedding.guest.parent_array:
         raise ValueError("program and embedding use different guest trees")
     network = SynchronousNetwork(embedding.host, link_capacity=link_capacity, router=router)
     host_name = getattr(embedding.host, "name", type(embedding.host).__name__)
     observing = recorder is not None and recorder.enabled
+    fault_mode = faults is not None or ttl is not None
+    report = FaultReport()
     if barrier:
         per_step: list[int] = []
         max_traffic = 0
         max_queue = 0
         msg_id = 0
+        base = 0  # global cycle count: fault-schedule cycles span supersteps
         with span("simulate.on_host", program=program.name, host=host_name, mode="bsp"):
             for k, step in enumerate(program.supersteps):
                 messages = []
@@ -103,11 +128,19 @@ def simulate_on_host(
                     msg_id += 1
                 if observing:
                     recorder.begin_phase(f"{program.name}[{k}]")
-                stats = network.deliver(messages, recorder=recorder)
+                stats = network.deliver(
+                    messages, recorder=recorder, faults=faults, ttl=ttl,
+                ) if not fault_mode else network.deliver_scheduled(
+                    [(0, m) for m in messages],
+                    recorder=recorder, faults=faults, ttl=ttl, fault_offset=base,
+                )
+                base += stats.cycles
                 per_step.append(stats.cycles)
                 max_traffic = max(max_traffic, stats.max_link_traffic)
                 max_queue = max(max_queue, stats.max_queue)
-        return ExecutionStats(
+                if fault_mode:
+                    _fold_report(report, stats)
+        result = ExecutionStats(
             program=program.name,
             host_name=host_name,
             n_supersteps=program.n_supersteps,
@@ -118,6 +151,7 @@ def simulate_on_host(
             max_link_traffic=max_traffic,
             max_queue=max_queue,
         )
+        return DegradedResult(result, report) if fault_mode else result
     schedule = []
     msg_id = 0
     for k, step in enumerate(program.supersteps):
@@ -127,8 +161,8 @@ def simulate_on_host(
     if observing:
         recorder.begin_phase(f"{program.name}[pipelined]")
     with span("simulate.on_host", program=program.name, host=host_name, mode="pipelined"):
-        stats = network.deliver_scheduled(schedule, recorder=recorder)
-    return ExecutionStats(
+        stats = network.deliver_scheduled(schedule, recorder=recorder, faults=faults, ttl=ttl)
+    result = ExecutionStats(
         program=program.name,
         host_name=host_name,
         n_supersteps=program.n_supersteps,
@@ -139,6 +173,10 @@ def simulate_on_host(
         max_link_traffic=stats.max_link_traffic,
         max_queue=stats.max_queue,
     )
+    if fault_mode:
+        _fold_report(report, stats)
+        return DegradedResult(result, report)
+    return result
 
 
 def simulate_on_guest(
