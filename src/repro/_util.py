@@ -18,8 +18,34 @@ __all__ = [
     "check_nonnegative",
     "check_positive",
     "is_power_of_two",
+    "node_from_json",
+    "node_to_json",
     "pairwise_disjoint",
 ]
+
+
+def node_to_json(value):
+    """A topology node label in JSON-serialisable form.
+
+    Labels are ints (hypercube) or (nested) tuples of ints (X-tree
+    ``(level, index)``, grid coordinates, CCC ``(corner, pos)``); JSON has
+    no tuples, so tuples become lists, recursively.  Inverse of
+    :func:`node_from_json`.
+    """
+    if isinstance(value, tuple):
+        return [node_to_json(v) for v in value]
+    return value
+
+
+def node_from_json(value):
+    """JSON form of a node label back to the canonical hashable form.
+
+    Lists round-trip back into tuples, recursively (see
+    :func:`node_to_json`).
+    """
+    if isinstance(value, list):
+        return tuple(node_from_json(v) for v in value)
+    return value
 
 
 def as_rng(seed: int | random.Random | None) -> random.Random:

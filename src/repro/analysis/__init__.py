@@ -10,12 +10,19 @@ from .metrics import (
 )
 from .render import render_dilation_bar, render_loads, render_xtree
 from .tables import format_claim_reports, markdown_table
-from .trace_report import load_trace, metrics_report, per_cycle_csv, trace_summary_text
+from .trace_report import (
+    load_trace,
+    metrics_report,
+    per_cycle_csv,
+    to_speedscope,
+    trace_summary_text,
+)
 
 __all__ = [
     "load_trace",
     "metrics_report",
     "per_cycle_csv",
+    "to_speedscope",
     "trace_summary_text",
     "all_pairs_distances",
     "distance_histogram",

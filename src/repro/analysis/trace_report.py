@@ -21,7 +21,7 @@ import io
 import json
 from pathlib import Path
 
-from ..obs import TraceRecorder, counters, span_summary
+from ..obs import TraceRecorder, counters, span_summary, spans
 from .tables import markdown_table
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "trace_summary_text",
     "per_cycle_csv",
     "metrics_report",
+    "to_speedscope",
 ]
 
 
@@ -117,6 +118,59 @@ def per_cycle_csv(recorder: TraceRecorder) -> str:
             f"{sum(s.queue_occupancy.values())},{s.max_queue},{s.in_flight}\n"
         )
     return out.getvalue()
+
+
+def to_speedscope(records=None, *, name: str = "repro spans") -> dict:
+    """Fold span records into a speedscope *evented* profile (a dict).
+
+    ``json.dump`` the result and drop it on https://speedscope.app (or
+    ``speedscope file.json``) for an interactive flamegraph of the
+    collected :func:`~repro.obs.span` regions — e.g. the per-round
+    construction spans ``embed.round0`` / ``embed.adjust`` /
+    ``embed.split`` / ``embed.finalize`` emitted by
+    :func:`~repro.core.xtree_embed.embed_binary_tree`.
+
+    ``records`` defaults to the process-global span log.  Span start
+    times are normalised so the profile starts at 0; open/close event
+    ordering is reconstructed from each span's start, end and nesting
+    depth, so sibling spans at equal timestamps cannot interleave
+    improperly.
+    """
+    recs = spans() if records is None else list(records)
+    frames: list[dict] = []
+    frame_index: dict[str, int] = {}
+    events: list[tuple[float, int, int, int]] = []
+    t0 = min((r.start_s for r in recs), default=0.0)
+    end = 0.0
+    for r in recs:
+        idx = frame_index.setdefault(r.name, len(frame_index))
+        if idx == len(frames):
+            frames.append({"name": r.name})
+        start = r.start_s - t0
+        stop = start + r.duration_s
+        end = max(end, stop)
+        # sort keys: closes before opens at equal times; deeper spans
+        # close first and open last, preserving proper nesting
+        events.append((start, 1, r.depth, idx))
+        events.append((stop, 0, -r.depth, idx))
+    events.sort()
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "evented",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0.0,
+                "endValue": end,
+                "events": [
+                    {"type": "O" if kind else "C", "frame": idx, "at": t}
+                    for t, kind, _depth, idx in events
+                ],
+            }
+        ],
+    }
 
 
 def metrics_report(recorder: TraceRecorder | None = None) -> str:

@@ -16,6 +16,14 @@ Subcommands
             link/node failures while messages are in flight and prints a
             degraded-mode fault report (exit 1 if messages were lost),
             ``--ttl N`` bounds each message's cycles in flight.
+``runtime`` multiplex several guest programs on one host network
+            (``repro.runtime``): a JSON job config names the host and the
+            job specs; ``--faults`` plays a fault schedule on the global
+            clock (node deaths repair online and migrate stranded
+            messages); ``--checkpoint PATH`` resumes from the file when it
+            exists and rewrites it as the run progresses — kill the
+            process at any point and re-run the same command to continue
+            bit-identically.
 """
 
 from __future__ import annotations
@@ -168,6 +176,97 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_runtime(args) -> int:
+    import json
+
+    from .networks import TOPOLOGIES
+    from .obs import NullRecorder, TraceRecorder
+    from .runtime import AdmissionError, JobSpec, Runtime
+    from .simulate.faults import RepairError
+
+    observing = bool(args.trace or args.metrics)
+    recorder = TraceRecorder() if observing else NullRecorder()
+
+    ckpt = Path(args.checkpoint) if args.checkpoint else None
+    if ckpt is not None and ckpt.exists():
+        # resume: the checkpoint is the complete state; jobs.json only
+        # seeded the original run
+        try:
+            rt = Runtime.restore_json(ckpt, recorder=recorder)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: cannot restore checkpoint {ckpt}: {exc}", file=sys.stderr)
+            return 1
+        print(f"resumed from {ckpt}: cycle {rt.cycle}, "
+              f"{len(rt.active_jobs())}/{len(rt.jobs)} jobs still active")
+    else:
+        try:
+            config = json.loads(Path(args.config).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load job config {args.config}: {exc}", file=sys.stderr)
+            return 1
+        faults = None
+        if args.faults:
+            from .simulate import FaultSchedule
+
+            try:
+                faults = FaultSchedule.from_json(Path(args.faults))
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                print(f"error: cannot load fault schedule {args.faults}: {exc}",
+                      file=sys.stderr)
+                return 1
+        try:
+            host_spec = config["host"]
+            host = TOPOLOGIES[host_spec["name"]](*host_spec.get("args", []))
+            rt = Runtime(
+                host,
+                router=config.get("router"),
+                faults=faults,
+                recorder=recorder,
+                policy=config.get("policy"),
+                max_load=config.get("max_load", 16),
+                link_capacity=config.get("link_capacity", 1),
+            )
+            for spec in config["jobs"]:
+                rt.admit(JobSpec.from_obj(spec))
+        except (KeyError, TypeError, ValueError, AdmissionError) as exc:
+            print(f"error: bad job config {args.config}: {exc}", file=sys.stderr)
+            return 1
+        print(f"admitted {len(rt.jobs)} jobs on {host.name} "
+              f"(policy {rt.policy.name}, max load {rt.max_load})")
+
+    steps = 0
+    try:
+        while rt.step() is not None:
+            steps += 1
+            if ckpt is not None and steps % args.checkpoint_every == 0:
+                rt.checkpoint_json(ckpt)
+    except RepairError as exc:
+        print(f"error: online repair failed: {exc}", file=sys.stderr)
+        if ckpt is not None:
+            rt.checkpoint_json(ckpt)
+            print(f"wrote checkpoint: {ckpt}", file=sys.stderr)
+        return 1
+    if ckpt is not None:
+        rt.checkpoint_json(ckpt)
+        print(f"wrote checkpoint: {ckpt}")
+    res = rt.result()
+    print(res)
+    if args.trace:
+        try:
+            recorder.to_jsonl(args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote trace: {args.trace} ({len(recorder.events)} events, "
+              f"{len(recorder.cycles)} cycle samples)")
+    if args.metrics:
+        from .analysis.trace_report import metrics_report
+
+        print()
+        print(metrics_report(recorder))
+    return 0 if res.complete else 1
+
+
 def _cmd_online(args) -> int:
     from .core.online import replay_online
 
@@ -251,6 +350,29 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument("--metrics", action="store_true",
                        help="print per-cycle metrics, timing spans and counters")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_rt = sub.add_parser(
+        "runtime",
+        help="multiplex several guest programs on one host (repro.runtime)",
+    )
+    p_rt.add_argument(
+        "config",
+        help="JSON job config: {host: {name, args}, jobs: [JobSpec...], "
+             "policy?, router?, max_load?, link_capacity?}",
+    )
+    p_rt.add_argument("--faults", metavar="PATH",
+                      help="JSON fault schedule played on the runtime's global clock; "
+                           "node deaths trigger online repair + message migration")
+    p_rt.add_argument("--checkpoint", metavar="PATH",
+                      help="checkpoint file: restored (and the job config ignored) if it "
+                           "already exists, rewritten during and after the run")
+    p_rt.add_argument("--checkpoint-every", type=int, default=10, metavar="N",
+                      help="rewrite the checkpoint every N supersteps (default 10)")
+    p_rt.add_argument("--trace", metavar="PATH",
+                      help="record every superstep and write a JSONL trace")
+    p_rt.add_argument("--metrics", action="store_true",
+                      help="print per-cycle metrics, timing spans and counters")
+    p_rt.set_defaults(func=_cmd_runtime)
 
     p_online = sub.add_parser("online", help="grow the tree node-by-node (tree machine)")
     _add_tree_args(p_online)

@@ -38,6 +38,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..networks.xtree import XAddr, XTree, xtree_size
+from ..obs.spans import span
 from ..trees.binary_tree import BinaryTree, theorem1_guest_size
 from .embedding import Embedding
 from .intervals import LayoutState, LayoutStats, Piece
@@ -193,14 +194,18 @@ class _XTreeEmbedder:
 
     # ------------------------------------------------------------------
     def run(self) -> XTreeEmbeddingResult:
-        self._round0()
+        with span("embed.round0", r=self.r, n=self.tree.n):
+            self._round0()
         for i in range(1, self.r + 1):
-            self._adjust_phase(i)
-            self._split_phase(i)
+            with span("embed.adjust", round=i, r=self.r):
+                self._adjust_phase(i)
+            with span("embed.split", round=i, r=self.r):
+                self._split_phase(i)
             self._record_history(i)
             if self.validate:
                 self.state.validate(i)
-        self._finalize()
+        with span("embed.finalize", r=self.r):
+            self._finalize()
         if self.validate:
             self.state.validate()
         embedding = Embedding(self.tree, self.xtree, self.state.place)

@@ -67,7 +67,8 @@ class TraceEvent:
     """One lifecycle event of one message (or of the network itself).
 
     ``kind`` is one of ``inject`` / ``hop`` / ``queued`` / ``delivered`` /
-    ``fault`` / ``reroute`` / ``dropped``.  ``node`` is the location (for
+    ``fault`` / ``reroute`` / ``dropped`` / ``repair`` / ``migrate`` (the
+    last two are runtime-level: ``node`` holds the job name).  ``node`` is the location (for
     ``hop`` the link *source*; ``link_dst`` then holds the other endpoint;
     for ``fault`` the pair names the affected link or node).  ``detail``
     carries the fault action (``fail_link``, ...) or the drop reason
@@ -171,6 +172,16 @@ class Recorder:
         """``msg`` was dropped at ``node`` and will never be delivered;
         ``reason`` is ``"ttl"`` or ``"partitioned"``."""
 
+    def on_repair(self, cycle: int, job: str, moved: dict) -> None:
+        """The runtime repaired ``job``'s embedding online at global
+        ``cycle``: ``moved`` maps each remapped guest node to its
+        ``(old host, new host)`` pair (see
+        :func:`repro.simulate.faults.repair_embedding`)."""
+
+    def on_migrate(self, cycle: int, job: str, msg_ids) -> None:
+        """Messages ``msg_ids`` of ``job``, stranded by a node death, are
+        being re-sent to their repaired images at global ``cycle``."""
+
 
 class NullRecorder(Recorder):
     """The do-nothing default: ``enabled`` stays false."""
@@ -204,6 +215,8 @@ class TraceRecorder(Recorder):
         self.n_dropped = 0
         self.n_faults = 0
         self.n_reroutes = 0
+        self.n_repairs = 0
+        self.n_migrated = 0
         self._phase = 0
         self._cycle_links: Counter = Counter()
         # incremental aggregates: identical in both modes, so summaries
@@ -276,6 +289,21 @@ class TraceRecorder(Recorder):
         self.n_dropped += 1
         self._record_event(
             TraceEvent(cycle, "dropped", msg.msg_id, node, phase=self._phase, detail=reason)
+        )
+
+    def on_repair(self, cycle: int, job: str, moved: dict) -> None:
+        self.n_repairs += 1
+        self._record_event(
+            TraceEvent(cycle, "repair", -1, job, phase=self._phase,
+                       detail=f"moved={len(moved)}")
+        )
+
+    def on_migrate(self, cycle: int, job: str, msg_ids) -> None:
+        ids = list(msg_ids)
+        self.n_migrated += len(ids)
+        self._record_event(
+            TraceEvent(cycle, "migrate", -1, job, phase=self._phase,
+                       detail=f"messages={len(ids)}")
         )
 
     def on_cycle_end(self, cycle: int, queues, in_flight: int) -> None:
@@ -386,6 +414,9 @@ class TraceRecorder(Recorder):
             out["fault_events"] = self.n_faults
             out["reroutes"] = self.n_reroutes
             out["messages_dropped"] = self.n_dropped
+        if self.n_repairs or self.n_migrated:
+            out["repairs"] = self.n_repairs
+            out["messages_migrated"] = self.n_migrated
         return out
 
     # -- export --------------------------------------------------------

@@ -54,12 +54,19 @@ _counters: Counter = Counter()
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One finished timed region."""
+    """One finished timed region.
+
+    ``start_s`` is the raw :func:`time.perf_counter` value at entry — an
+    arbitrary epoch, meaningful only relative to other spans of the same
+    process.  Exporters (``to_speedscope``) normalise it; consumers that
+    only aggregate durations can ignore it.
+    """
 
     name: str
     duration_s: float
     depth: int = 0
     meta: dict = field(default_factory=dict)
+    start_s: float = 0.0
 
 
 def set_spans_enabled(flag: bool) -> bool:
@@ -84,7 +91,9 @@ def span(name: str, **meta):
         yield
     finally:
         _depth = depth
-        _spans.append(SpanRecord(name, time.perf_counter() - t0, depth, meta))
+        _spans.append(
+            SpanRecord(name, time.perf_counter() - t0, depth, meta, start_s=t0)
+        )
 
 
 def timed(name: str):

@@ -1,0 +1,96 @@
+"""Superstep scheduling policies for the multi-tenant runtime.
+
+The runtime is a cooperative time-multiplexer: at every scheduling point
+exactly one job runs exactly one superstep on the shared host network
+(the engine is synchronous, so a superstep is the natural indivisible
+quantum).  A policy only decides *which* active job goes next.
+
+Determinism matters more than sophistication here: given the same admitted
+jobs and the same per-superstep cycle costs, a policy must make the same
+sequence of picks — it is part of the state a checkpoint must reproduce.
+Both built-in policies are pure functions of the jobs' own counters
+(``consumed_cycles``, ``backlog``, admission order), so they need no
+serialised state of their own.
+"""
+
+from __future__ import annotations
+
+from .jobs import Job
+
+__all__ = ["SchedulerPolicy", "FifoPolicy", "FairSharePolicy", "POLICIES", "make_policy"]
+
+
+class SchedulerPolicy:
+    """Pick the next job to run one superstep."""
+
+    name = "?"
+
+    def pick(self, active: list[Job]) -> Job:
+        """Return one of ``active`` (never empty, admission order)."""
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulerPolicy):
+    """Run-to-completion in admission order — the baseline.
+
+    The first admitted job that is still active runs until it finishes
+    (or exhausts its budget); only then does the next job start.  Zero
+    interleaving: latecomers wait the full makespan of everything ahead
+    of them, which is exactly the head-of-line blocking the fair-share
+    policy exists to remove.
+    """
+
+    name = "fifo"
+
+    def pick(self, active: list[Job]) -> Job:
+        return active[0]
+
+
+class FairSharePolicy(SchedulerPolicy):
+    """Weighted fair sharing of host cycles, backlog-aware.
+
+    Each job accrues *virtual time* ``consumed_cycles / weight`` with
+    ``weight = priority * backlog``: the scheduler always runs the job
+    with the least virtual time (ties break towards admission order).
+    ``backlog`` is the job's queued-message count as the engine reports
+    it — every superstep's :class:`~repro.simulate.engine.DeliveryStats`
+    drains delivered and failed messages out of it — so a job with more
+    queued work gets proportionally more of the host, and a draining
+    job's share decays instead of starving latecomers.  With equal
+    priorities and equal backlogs this degenerates to round-robin by
+    cycles consumed; priorities scale a job's share linearly.
+    """
+
+    name = "fair"
+
+    def pick(self, active: list[Job]) -> Job:
+        best = None
+        best_key: tuple[float, int] | None = None
+        for order, job in enumerate(active):
+            weight = job.spec.priority * max(1, job.backlog)
+            key = (job.consumed_cycles / weight, order)
+            if best_key is None or key < best_key:
+                best, best_key = job, key
+        return best
+
+
+#: CLI / config names for the built-in policies
+POLICIES = {"fifo": FifoPolicy, "fair": FairSharePolicy}
+
+
+def make_policy(spec: "SchedulerPolicy | str | None") -> SchedulerPolicy:
+    """Resolve ``None`` / a registry name / a ready instance to a policy."""
+    if spec is None:
+        return FifoPolicy()
+    if isinstance(spec, SchedulerPolicy):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return POLICIES[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduling policy {spec!r}: expected one of {sorted(POLICIES)}"
+            ) from None
+    raise TypeError(
+        f"policy must be a SchedulerPolicy, a name, or None, got {type(spec)!r}"
+    )

@@ -116,6 +116,8 @@ class SynchronousNetwork:
         self.link_capacity = link_capacity
         self.router = make_router(router).bind(self)
         self.failed: set[frozenset] = set()
+        #: latency faults: link -> extra cycles per crossing (slow, not dead)
+        self.link_delays: dict[frozenset, int] = {}
         self._dist_to: dict[Node, dict[Node, int]] = {}
         #: True while deliver_scheduled runs — bare fail/heal calls are then
         #: rejected (use a FaultSchedule for mid-delivery faults)
@@ -156,6 +158,8 @@ class SynchronousNetwork:
         self._check_not_delivering("heal_link")
         if v not in set(self.topology.neighbors(u)):
             raise ValueError(f"{u!r} -- {v!r} is not a link of {self.topology.name}")
+        # a heal restores full function: any latency fault clears too
+        self.link_delays.pop(frozenset((u, v)), None)
         if frozenset((u, v)) not in self.failed:
             return  # already live: nothing changed, keep every warm table
         self.failed.discard(frozenset((u, v)))
@@ -163,6 +167,26 @@ class SynchronousNetwork:
 
     #: alias: fault-injection scripts read ``fail_link`` / ``heal_link``
     heal_link = restore_link
+
+    def delay_link(self, u: Node, v: Node, delay: int) -> None:
+        """Make the (bidirectional) link slow: every crossing now takes
+        ``1 + delay`` cycles instead of 1.
+
+        This is a *latency* fault, not a failure: the link stays up and
+        routable, distance tables are untouched (routing still counts it
+        as one hop), messages queued behind it are never rerouted, and no
+        repair is warranted — a slow link delivers, just late.  ``delay=0``
+        restores full speed; :meth:`heal_link` also clears a delay.
+        """
+        self._check_not_delivering("delay_link")
+        if v not in set(self.topology.neighbors(u)):
+            raise ValueError(f"{u!r} -- {v!r} is not a link of {self.topology.name}")
+        if delay < 0:
+            raise ValueError(f"link delay must be >= 0 extra cycles, got {delay}")
+        if delay == 0:
+            self.link_delays.pop(frozenset((u, v)), None)
+        else:
+            self.link_delays[frozenset((u, v))] = delay
 
     def fail_node(self, node: Node) -> None:
         """Take a whole processor down: fail every live incident link."""
@@ -225,6 +249,8 @@ class SynchronousNetwork:
                     )
             elif ev.action == "heal_link":
                 self.restore_link(ev.u, ev.v)
+            elif ev.action == "delay_link":
+                self.delay_link(ev.u, ev.v, ev.delay)
             elif ev.action == "fail_node":
                 if not self.topology.has_node(ev.u):
                     raise ValueError(f"{ev.u!r} is not a node of {self.topology.name}")
@@ -415,6 +441,10 @@ class SynchronousNetwork:
             ]
         fi = 0
         n_fev = len(fev)
+        # latency faults: active on entry, or introduced by a schedule event
+        delayed = bool(self.link_delays) or any(e.action == "delay_link" for e in fev)
+        # messages crossing a slow link, keyed by the cycle they arrive
+        in_transit: dict[int, list[tuple[Node, tuple[int, Message]]]] = {}
         stats = DeliveryStats(cycles=0, n_messages=len(schedule))
         # queues[node] holds (seq, message) tuples in FIFO order
         queues: dict[Node, deque[tuple[int, Message]]] = defaultdict(deque)
@@ -457,7 +487,7 @@ class SynchronousNetwork:
         link_traffic = stats.link_traffic
         delivery_cycle = stats.delivery_cycle
         max_queue = 0
-        fast = not fault_mode and not adaptive and rec is None
+        fast = not fault_mode and not adaptive and rec is None and not delayed
         self._delivering = True
         try:
             while in_network or pending:
@@ -554,7 +584,17 @@ class SynchronousNetwork:
                             link_traffic[key] = link_traffic.get(key, 0) + 1
                             if adaptive:
                                 cycle_links[key] += 1
-                            arrivals[hop].append((s, m))
+                            d = (
+                                self.link_delays.get(frozenset((node, hop)), 0)
+                                if delayed
+                                else 0
+                            )
+                            if d:
+                                # slow link: the message left the sender but
+                                # arrives d cycles late (latency fault)
+                                in_transit.setdefault(cycle + d, []).append((hop, (s, m)))
+                            else:
+                                arrivals[hop].append((s, m))
                             if fault_mode:
                                 moved_any = True
                                 planned.pop(m.msg_id, None)
@@ -567,6 +607,15 @@ class SynchronousNetwork:
                             if rec is not None:
                                 rec.on_queued(cycle, m, node)
                     queues[node] = kept
+                if delayed and in_transit:
+                    # slow-link crossings finishing this cycle join the
+                    # ordinary arrivals (delivered or re-queued below);
+                    # landing counts as progress for the stall detector
+                    landed = in_transit.pop(cycle, ())
+                    if landed:
+                        moved_any = True
+                        for hop, sm in landed:
+                            arrivals[hop].append(sm)
                 for node, arrived in arrivals.items():
                     for s, m in arrived:
                         if m.dst == node:
@@ -596,6 +645,10 @@ class SynchronousNetwork:
                         targets.append(min(pending))
                     if fi < n_fev:
                         targets.append(fev[fi].cycle - fault_offset - 1)
+                    if in_transit:
+                        # messages on slow links are progress, just late:
+                        # jump to the earliest arrival instead of dropping
+                        targets.append(min(in_transit) - 1)
                     if targets:
                         cycle = max(cycle, min(targets))
                     else:

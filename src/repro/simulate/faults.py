@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Hashable
 
+from .._util import node_from_json as _node_from_json
+
 __all__ = [
     "FAULT_ACTIONS",
     "FaultEvent",
@@ -53,21 +55,14 @@ __all__ = [
 
 Node = Hashable
 
-#: the four scriptable actions; ``*_link`` events name both endpoints,
-#: ``*_node`` events name one node (= all incident links at once)
-FAULT_ACTIONS = ("fail_link", "heal_link", "fail_node", "heal_node")
+#: the scriptable actions; ``*_link`` events name both endpoints,
+#: ``*_node`` events name one node (= all incident links at once).
+#: ``delay_link`` is a *latency* fault: the link stays up and routable but
+#: every crossing takes ``1 + delay`` cycles — a slow link, not a dead one
+#: (``delay = 0`` restores full speed; ``heal_link`` also clears a delay).
+FAULT_ACTIONS = ("fail_link", "heal_link", "fail_node", "heal_node", "delay_link")
 
 
-def _node_from_json(value):
-    """JSON form of a node label back to the canonical hashable form.
-
-    Topology labels are ints (hypercube) or (nested) tuples of ints
-    (X-tree ``(level, index)``, grid coordinates, CCC ``(corner, pos)``);
-    JSON has no tuples, so lists round-trip as tuples, recursively.
-    """
-    if isinstance(value, list):
-        return tuple(_node_from_json(v) for v in value)
-    return value
 
 
 @dataclass(frozen=True, order=True)
@@ -84,6 +79,8 @@ class FaultEvent:
     action: str
     u: Node
     v: Node | None = None
+    #: ``delay_link`` only: extra cycles per crossing (0 = back to full speed)
+    delay: int | None = None
 
     def __post_init__(self):
         if self.cycle < 0:
@@ -96,11 +93,20 @@ class FaultEvent:
             raise ValueError(f"{self.action} needs both endpoints, got v=None")
         if self.action.endswith("_node") and self.v is not None:
             raise ValueError(f"{self.action} names a single node, got v={self.v!r}")
+        if self.action == "delay_link":
+            if self.delay is None or self.delay < 0:
+                raise ValueError(
+                    f"delay_link needs delay >= 0 extra cycles, got {self.delay!r}"
+                )
+        elif self.delay is not None:
+            raise ValueError(f"{self.action} takes no delay, got delay={self.delay!r}")
 
     def as_dict(self) -> dict:
         d = {"cycle": self.cycle, "action": self.action, "u": self.u}
         if self.v is not None:
             d["v"] = self.v
+        if self.delay is not None:
+            d["delay"] = self.delay
         return d
 
 
@@ -157,6 +163,7 @@ class FaultSchedule:
                     action=entry["action"],
                     u=_node_from_json(entry["u"]),
                     v=_node_from_json(entry["v"]) if "v" in entry else None,
+                    delay=entry.get("delay"),
                 )
             )
         return cls(events)
@@ -185,8 +192,25 @@ class FaultSchedule:
     def shifted(self, offset: int) -> "FaultSchedule":
         """The same script, ``offset`` cycles later."""
         return FaultSchedule(
-            [FaultEvent(e.cycle + offset, e.action, e.u, e.v) for e in self.events]
+            [FaultEvent(e.cycle + offset, e.action, e.u, e.v, e.delay) for e in self.events]
         )
+
+    @classmethod
+    def slow_link(
+        cls, u: Node, v: Node, *, slow_at: int, delay: int, restore_at: int | None = None
+    ) -> "FaultSchedule":
+        """A latency fault: the link delays crossings by ``delay`` cycles
+        from ``slow_at`` on (back to full speed at ``restore_at`` when
+        given).  The link never dies — routing is unchanged and no repair
+        is ever warranted."""
+        events = [FaultEvent(slow_at, "delay_link", u, v, delay=delay)]
+        if restore_at is not None:
+            if restore_at <= slow_at:
+                raise ValueError(
+                    f"restore_at must be after slow_at, got {restore_at} <= {slow_at}"
+                )
+            events.append(FaultEvent(restore_at, "delay_link", u, v, delay=0))
+        return cls(events)
 
     @classmethod
     def single_link(
@@ -353,6 +377,7 @@ def repair_embedding(
     *,
     max_load: int = 16,
     failed_links=(),
+    extra_load=None,
 ) -> RepairResult:
     """Remap the guest images of dead host nodes onto nearby live hosts.
 
@@ -368,6 +393,13 @@ def repair_embedding(
     capacity=12)``) can absorb a dying processor's 12 images into its
     neighbourhood without breaching the paper's load constant — at a
     dilation cost the returned report makes explicit.
+
+    ``extra_load`` maps host nodes to load contributed by *other* tenants
+    sharing the host (the multi-tenant runtime passes the combined loads of
+    every co-resident job): a candidate is admissible only while its own
+    images plus the extra load stay below ``max_load``, so a repair never
+    breaches the load-16 bound network-wide even though this embedding
+    alone cannot see the other jobs.
 
     Raises :class:`RepairError` when some orphan has no reachable live
     host with remaining slack (the attrition exceeded the slack).
@@ -387,6 +419,8 @@ def repair_embedding(
 
     new_phi = dict(embedding.phi)
     loads = Counter(new_phi.values())
+    if extra_load:
+        loads.update(extra_load)
     dilation_before = embedding.dilation()
     load_before = embedding.load_factor()
     moved: dict[int, tuple[Any, Any]] = {}

@@ -39,6 +39,9 @@ import random
 from collections import Counter
 from typing import Hashable
 
+from .._util import node_from_json as _j2n
+from .._util import node_to_json as _n2j
+
 __all__ = ["Router", "ShortestPathRouter", "AdaptiveRouter", "make_router", "ROUTERS"]
 
 Node = Hashable
@@ -80,6 +83,19 @@ class Router:
         :meth:`repro.obs.Recorder.on_cycle_end`.
         """
 
+    def state(self) -> dict | None:
+        """JSON-serialisable cross-delivery state, for checkpointing.
+
+        ``None`` means the policy is stateless between deliveries (the
+        deterministic router): restoring it needs nothing.  Adaptive
+        policies return their learned estimates so a checkpointed run can
+        resume bit-identically (see :mod:`repro.runtime`).
+        """
+        return None
+
+    def load_state(self, state: dict | None) -> None:
+        """Restore what :meth:`state` captured (no-op for stateless)."""
+
 
 class ShortestPathRouter(Router):
     """The historical deterministic policy, behind the protocol.
@@ -110,13 +126,32 @@ class AdaptiveRouter(Router):
     seeded pseudo-random permutation of the node indices decides, so a
     fixed seed reproduces a run exactly.
 
-    With ``detour_budget > 0`` a message may take that many *sideways*
-    hops (to a neighbour at the same distance, +1 path length each) when
-    the cheapest minimal candidate is at least ``detour_margin`` more
-    loaded than the cheapest sideways one.  Unreachability semantics are
-    unchanged: a cut-off destination raises
+    With ``detour_budget > 0`` a message may spend that budget on
+    non-minimal hops when the cheapest minimal candidate is much more
+    loaded than a non-minimal one: a *sideways* hop (same distance,
+    +1 path length, costs 1 budget) needs a score gap of at least
+    ``detour_margin``; an *escape* hop (distance + 1, so +2 path length
+    and 2 budget) needs twice that.  Escape hops are what close the
+    EXPERIMENTS.md E15 ``k = 2`` degradation spike: when fail-overs leave
+    one minimal entry link into a hot node, every remote flow funnels
+    into it and serialises while other entries sit idle — the growing
+    per-cycle pick count on the funnel link eventually clears the
+    ``2 * detour_margin`` bar and queued traffic backs out one level to
+    the idle entries.  The budget strictly decreases and an escape costs
+    its full path-length penalty up front, so every message still takes
+    at most ``distance + budget`` hops and terminates.  Unreachability
+    semantics are unchanged: a cut-off destination raises
     :class:`~repro.simulate.engine.UnreachableError` just as the
     deterministic policy does.
+
+    ``hysteresis`` damps tie-break churn: once a ``(node, dst)`` flow has
+    chosen a link, it keeps choosing it while its score stays within
+    ``hysteresis`` of the momentary best, instead of flip-flopping
+    between near-equal candidates every time their EWMAs leapfrog by an
+    epsilon.  ``hysteresis = 0`` restores the old behaviour.  (Measured:
+    damping alone does *not* move the E15 spike — that failure mode is
+    funnel serialisation, not oscillation — but it stabilises flow
+    assignment under chaos churn at no cost.)
     """
 
     adaptive = True
@@ -128,22 +163,28 @@ class AdaptiveRouter(Router):
         queue_weight: float = 0.5,
         detour_budget: int = 0,
         detour_margin: float = 2.0,
+        hysteresis: float = 0.5,
         seed: int = 0,
     ):
         if not 0.0 < ewma_alpha <= 1.0:
             raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
         if detour_budget < 0:
             raise ValueError(f"detour budget must be >= 0, got {detour_budget}")
+        if hysteresis < 0:
+            raise ValueError(f"hysteresis must be >= 0, got {hysteresis}")
         self.ewma_alpha = ewma_alpha
         self.queue_weight = queue_weight
         self.detour_budget = detour_budget
         self.detour_margin = detour_margin
+        self.hysteresis = hysteresis
         self.seed = seed
         self._link_ewma: dict[tuple[Node, Node], float] = {}
         self._queue_ewma: dict[Node, float] = {}
         self._cycle_picks: Counter = Counter()
         self._budget: dict[int, int] = {}
         self._tiebreak: dict[Node, int] = {}
+        #: sticky per-flow choice: (node, dst) -> last link taken from node
+        self._last_pick: dict[tuple[Node, Node], Node] = {}
 
     def bind(self, network) -> "AdaptiveRouter":
         super().bind(network)
@@ -211,22 +252,70 @@ class AdaptiveRouter(Router):
         here = dist[node]
         minimal: list[Node] = []
         sideways: list[Node] = []
+        backwards: list[Node] = []
         for v in net.live_neighbors(node):
             dv = dist.get(v)
             if dv == here - 1:
                 minimal.append(v)
             elif dv == here:
                 sideways.append(v)
+            elif dv == here + 1:
+                backwards.append(v)
         hop, score = self._best(node, minimal)
-        if sideways and msg_id is not None and self.detour_budget > 0:
+        if self.hysteresis > 0:
+            sticky = self._last_pick.get((node, dst))
+            if sticky is not None and sticky != hop and sticky in minimal:
+                if self._score(node, sticky) <= score + self.hysteresis:
+                    hop = sticky
+        if msg_id is not None and self.detour_budget > 0:
             remaining = self._budget.get(msg_id, self.detour_budget)
-            if remaining > 0:
-                side_hop, side_score = self._best(node, sideways)
-                if score - side_score >= self.detour_margin:
-                    self._budget[msg_id] = remaining - 1
-                    hop = side_hop
+            alt = None
+            alt_score = 0.0
+            alt_cost = 0
+            if remaining >= 1 and sideways:
+                v, s = self._best(node, sideways)
+                if score - s >= self.detour_margin:
+                    alt, alt_score, alt_cost = v, s, 1
+            if remaining >= 2 and backwards:
+                # escape hop: step *away* from the destination (+2 path
+                # length, so it costs 2 budget) to reach an idle entry
+                # when every minimal link is a saturated funnel
+                v, s = self._best(node, backwards)
+                if score - s >= 2 * self.detour_margin and (
+                    alt is None or s < alt_score
+                ):
+                    alt, alt_cost = v, 2
+            if alt is not None:
+                self._budget[msg_id] = remaining - alt_cost
+                hop = alt
+        self._last_pick[(node, dst)] = hop
         self._cycle_picks[(node, hop)] += 1
         return hop
+
+    # -- checkpointing ---------------------------------------------------
+    def state(self) -> dict:
+        """The learned tables, JSON-safe (node tuples become lists)."""
+        return {
+            "link_ewma": [
+                [_n2j(u), _n2j(v), x] for (u, v), x in sorted(self._link_ewma.items())
+            ],
+            "queue_ewma": [[_n2j(v), x] for v, x in sorted(self._queue_ewma.items())],
+            "last_pick": [
+                [_n2j(u), _n2j(d), _n2j(v)]
+                for (u, d), v in sorted(self._last_pick.items())
+            ],
+        }
+
+    def load_state(self, state: dict | None) -> None:
+        if state is None:
+            return
+        self._link_ewma = {
+            (_j2n(u), _j2n(v)): x for u, v, x in state.get("link_ewma", [])
+        }
+        self._queue_ewma = {_j2n(v): x for v, x in state.get("queue_ewma", [])}
+        self._last_pick = {
+            (_j2n(u), _j2n(d)): _j2n(v) for u, d, v in state.get("last_pick", [])
+        }
 
 
 #: CLI / config names for the built-in policies

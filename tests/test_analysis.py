@@ -86,3 +86,67 @@ class TestTables:
     def test_format_claim_reports(self):
         out = format_claim_reports([verify_figure1(2)])
         assert "PASS" in out and "Figure 1" in out
+
+
+class TestSpeedscope:
+    def _valid_profile(self, prof):
+        """Speedscope evented profiles need properly nested O/C events."""
+        assert prof["$schema"].startswith("https://www.speedscope.app/")
+        (p,) = prof["profiles"]
+        assert p["type"] == "evented"
+        stack = []
+        last = p["startValue"]
+        for e in p["events"]:
+            assert e["at"] >= last
+            last = e["at"]
+            if e["type"] == "O":
+                stack.append(e["frame"])
+            else:
+                assert stack and stack[-1] == e["frame"]
+                stack.pop()
+        assert not stack
+        assert last <= p["endValue"]
+
+    def test_embedding_construction_spans_export(self):
+        import json
+
+        from repro.analysis import to_speedscope
+        from repro.core.xtree_embed import embed_binary_tree
+        from repro.obs import reset_spans, spans
+
+        reset_spans()
+        embed_binary_tree(make_tree("random", theorem1_guest_size(3), seed=2))
+        names = [r.name for r in spans()]
+        assert names[0] == "embed.round0"
+        assert names[-1] == "embed.finalize"
+        assert names.count("embed.adjust") == 3  # one per round, r=3
+        assert names.count("embed.split") == 3
+        prof = to_speedscope()
+        self._valid_profile(prof)
+        assert {f["name"] for f in prof["shared"]["frames"]} == {
+            "embed.round0", "embed.adjust", "embed.split", "embed.finalize",
+        }
+        json.dumps(prof)  # JSON-safe
+
+    def test_nested_spans_keep_proper_nesting(self):
+        from repro.analysis import to_speedscope
+        from repro.obs import reset_spans, span, spans
+
+        reset_spans()
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+        prof = to_speedscope(spans(), name="nested")
+        self._valid_profile(prof)
+        assert prof["profiles"][0]["name"] == "nested"
+        # one frame per unique name
+        assert len(prof["shared"]["frames"]) == 2
+
+    def test_empty_span_log(self):
+        from repro.analysis import to_speedscope
+
+        prof = to_speedscope([])
+        self._valid_profile(prof)
+        assert prof["profiles"][0]["events"] == []

@@ -1,0 +1,363 @@
+"""The PR-5 multi-tenant runtime: scheduling, repair, checkpoint/resume.
+
+Covers the tentpole semantics end to end:
+
+* ``JobSpec`` validation and JSON round-trips;
+* admission control against the load-16 bound (two capacity-8 jobs fill
+  it exactly; a third is rejected; finished jobs release their share);
+* FIFO vs fair-share scheduling order and per-job cycle budgets;
+* online repair — a scheduled node death remaps the affected jobs'
+  images mid-run and migrates stranded messages, and the run completes;
+* latency faults (``delay_link``) never trigger repair;
+* repair edge cases: the nearest slack slot itself dead, and repeated
+  deaths exhausting the slack into ``RepairError``;
+* checkpoint → restore → continue is bit-identical to the uninterrupted
+  run (also as a Hypothesis property over fault timing and cut points,
+  and with adaptive-router state in the checkpoint).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import Grid2D, XTree
+from repro.obs import TraceRecorder
+from repro.runtime import (
+    AdmissionError,
+    FairSharePolicy,
+    FifoPolicy,
+    Job,
+    JobSpec,
+    Runtime,
+    make_policy,
+)
+from repro.simulate import FaultEvent, FaultSchedule, RepairError
+from repro.simulate.routing import AdaptiveRouter
+
+
+def two_job_runtime(policy="fair", faults=None, recorder=None, router=None,
+                    capacity=4, **kw):
+    rt = Runtime(XTree(4), policy=policy, faults=faults, recorder=recorder,
+                 router=router, **kw)
+    rt.admit(JobSpec(name="a", program="reduction", tree_n=15,
+                     capacity=capacity, height=4))
+    rt.admit(JobSpec(name="b", program="prefix_sum", tree_n=12, tree_seed=3,
+                     capacity=capacity, height=4))
+    return rt
+
+
+class TestJobSpec:
+    def test_roundtrip(self):
+        spec = JobSpec(name="j", program="reduction", tree_n=20, tree_seed=7,
+                       capacity=8, priority=3, ttl=40, cycle_budget=500)
+        assert JobSpec.from_obj(json.loads(json.dumps(spec.as_dict()))) == spec
+
+    def test_defaults_omitted_from_dict(self):
+        d = JobSpec(name="j", program="reduction", tree_n=20).as_dict()
+        assert "capacity" not in d and "priority" not in d and "ttl" not in d
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(ValueError, match="unknown program"):
+            JobSpec(name="j", program="nope", tree_n=10)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown JobSpec fields"):
+            JobSpec.from_obj({"name": "j", "program": "reduction",
+                              "tree_n": 10, "colour": "red"})
+
+    def test_bad_priority_and_budget(self):
+        with pytest.raises(ValueError, match="priority"):
+            JobSpec(name="j", program="reduction", tree_n=10, priority=0)
+        with pytest.raises(ValueError, match="cycle_budget"):
+            JobSpec(name="j", program="reduction", tree_n=10, cycle_budget=0)
+
+    def test_wrong_host_height_rejected(self):
+        spec = JobSpec(name="j", program="reduction", tree_n=15, height=3)
+        with pytest.raises(ValueError, match="height"):
+            Job(spec, XTree(4))
+
+
+class TestAdmission:
+    def test_two_capacity8_jobs_fill_load16_exactly(self):
+        rt = Runtime(XTree(3))
+        rt.admit(JobSpec(name="a", program="reduction", tree_n=15,
+                         capacity=8, height=3))
+        rt.admit(JobSpec(name="b", program="reduction", tree_n=15,
+                         capacity=8, height=3))
+        occ = rt.occupancy()
+        assert set(occ.values()) == {16}
+
+    def test_third_job_rejected(self):
+        rt = Runtime(XTree(3))
+        for name in ("a", "b"):
+            rt.admit(JobSpec(name=name, program="reduction", tree_n=15,
+                             capacity=8, height=3))
+        with pytest.raises(AdmissionError, match="max_load"):
+            rt.admit(JobSpec(name="c", program="reduction", tree_n=15,
+                             capacity=8, height=3))
+
+    def test_duplicate_name_rejected(self):
+        rt = Runtime(XTree(3))
+        rt.admit(JobSpec(name="a", program="reduction", tree_n=15,
+                         capacity=8, height=3))
+        with pytest.raises(AdmissionError, match="already admitted"):
+            rt.admit(JobSpec(name="a", program="reduction", tree_n=15,
+                             capacity=4, height=3))
+
+    def test_finished_jobs_release_their_share(self):
+        rt = Runtime(XTree(3))
+        rt.admit(JobSpec(name="a", program="reduction", tree_n=15,
+                         capacity=8, height=3))
+        rt.admit(JobSpec(name="b", program="reduction", tree_n=15,
+                         capacity=8, height=3))
+        rt.run()
+        # both terminal: a third tenant now fits
+        late = rt.admit(JobSpec(name="c", program="reduction", tree_n=15,
+                                capacity=8, height=3))
+        assert late.status == "active"
+        res = rt.run()
+        assert res.jobs[-1]["status"] == "done"
+
+
+class TestScheduling:
+    def test_fifo_runs_to_completion_in_order(self):
+        rt = two_job_runtime(policy="fifo")
+        order = []
+        while True:
+            job = rt.step()
+            if job is None:
+                break
+            order.append(job.spec.name)
+        # job a finishes entirely before b starts
+        switch = order.index("b")
+        assert all(n == "a" for n in order[:switch])
+        assert all(n == "b" for n in order[switch:])
+
+    def test_fair_share_interleaves(self):
+        rt = two_job_runtime(policy="fair")
+        order = []
+        while True:
+            job = rt.step()
+            if job is None:
+                break
+            order.append(job.spec.name)
+        switch = order.index("b")
+        assert not all(n == "b" for n in order[switch:]), "fair share never interleaved"
+
+    def test_both_policies_complete_everything(self):
+        for policy in ("fifo", "fair"):
+            res = two_job_runtime(policy=policy).run()
+            assert res.complete, policy
+
+    def test_priority_biases_fair_share(self):
+        rt = Runtime(XTree(4), policy="fair")
+        rt.admit(JobSpec(name="lo", program="prefix_sum", tree_n=12,
+                         capacity=4, height=4, priority=1))
+        rt.admit(JobSpec(name="hi", program="prefix_sum", tree_n=12,
+                         capacity=4, height=4, priority=4))
+        first_done = None
+        while True:
+            job = rt.step()
+            if job is None:
+                break
+            if first_done is None:
+                done = [j for j in rt.jobs if j.status == "done"]
+                if done:
+                    first_done = done[0].spec.name
+        assert first_done == "hi"
+
+    def test_cycle_budget_terminates_job(self):
+        rt = Runtime(XTree(4))
+        rt.admit(JobSpec(name="capped", program="prefix_sum", tree_n=12,
+                         capacity=4, height=4, cycle_budget=10))
+        res = rt.run()
+        (job,) = res.jobs
+        assert job["status"] == "budget_exhausted"
+        assert job["supersteps_run"] < job["n_supersteps"]
+        assert not res.complete
+
+    def test_make_policy_resolution(self):
+        assert isinstance(make_policy(None), FifoPolicy)
+        assert isinstance(make_policy("fair"), FairSharePolicy)
+        p = FifoPolicy()
+        assert make_policy(p) is p
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("lottery")
+
+    def test_non_xtree_host(self):
+        # the runtime is topology-agnostic as long as specs target the host
+        rt = Runtime(Grid2D(4, 8), max_load=4)
+        spec = JobSpec(name="g", program="reduction", tree_n=30, capacity=2)
+        with pytest.raises(ValueError):
+            rt.admit(spec)  # embed targets an X-tree, host is a grid
+
+
+NODE_FAULT = FaultSchedule([FaultEvent(cycle=1, action="fail_node", u=(2, 1))])
+
+
+class TestOnlineRepair:
+    def test_node_death_repairs_and_completes(self):
+        rec = TraceRecorder()
+        rt = two_job_runtime(faults=NODE_FAULT, recorder=rec)
+        res = rt.run()
+        assert res.complete
+        assert res.n_repairs >= 1
+        assert res.n_migrated >= 1
+        for job in rt.jobs:
+            assert (2, 1) not in set(job.embedding.phi.values())
+        s = rec.summary()
+        assert s["repairs"] == res.n_repairs
+        assert s["messages_migrated"] == res.n_migrated
+        kinds = {e.kind for e in rec.events}
+        assert "repair" in kinds and "migrate" in kinds
+
+    def test_migrated_messages_are_delivered_not_failed(self):
+        res = two_job_runtime(faults=NODE_FAULT).run()
+        for j in res.jobs:
+            assert not j["failed"]
+            assert j["n_delivered"] == j["n_messages"]
+
+    def test_repair_respects_other_tenants_load(self):
+        rt = two_job_runtime(faults=NODE_FAULT)
+        rt.run()
+        occ = rt.occupancy()  # empty: all jobs terminal
+        loads = {}
+        for job in rt.jobs:
+            for h in job.embedding.phi.values():
+                loads[h] = loads.get(h, 0) + 1
+        assert max(loads.values()) <= rt.max_load
+
+    def test_latency_fault_never_triggers_repair(self):
+        slow = FaultSchedule([
+            FaultEvent(cycle=2, action="delay_link", u=(4, 3), v=(3, 1), delay=6),
+            FaultEvent(cycle=9, action="delay_link", u=(2, 1), v=(1, 0), delay=9),
+        ])
+        res = two_job_runtime(faults=slow).run()
+        assert res.n_repairs == 0
+        assert res.n_migrated == 0
+        assert res.complete
+
+    def test_slow_runtime_is_no_faster_than_clean(self):
+        clean = two_job_runtime().run()
+        slow = two_job_runtime(faults=FaultSchedule.slow_link(
+            (2, 1), (1, 0), slow_at=1, delay=8)).run()
+        assert slow.makespan >= clean.makespan
+        assert slow.complete
+
+    def test_full_admission_leaves_no_repair_slack(self):
+        # two capacity-8 jobs fill every node to exactly 16: the load bound
+        # admits them, but a node death then has nowhere to remap
+        rt = two_job_runtime(faults=NODE_FAULT, capacity=8)
+        with pytest.raises(RepairError, match="slack"):
+            rt.run()
+
+    def test_repair_when_nearest_slack_slot_is_dead(self):
+        # kill a node *and* its whole neighbourhood's nearest candidates:
+        # both children of (2,1) die with it, so the BFS ring must skip the
+        # dead tier and remap further away — and still complete
+        faults = FaultSchedule([
+            FaultEvent(cycle=1, action="fail_node", u=(2, 1)),
+            FaultEvent(cycle=1, action="fail_node", u=(3, 2)),
+            FaultEvent(cycle=1, action="fail_node", u=(3, 3)),
+        ])
+        rt = two_job_runtime(faults=faults)
+        res = rt.run()
+        assert res.complete
+        dead = {(2, 1), (3, 2), (3, 3)}
+        for job in rt.jobs:
+            assert not dead & set(job.embedding.phi.values())
+
+    def test_repeated_deaths_exhaust_slack(self):
+        # with max_load == the jobs' own capacity there is zero slack per
+        # node pair; kill nodes one after another until repair must fail
+        events = [
+            FaultEvent(cycle=1 + 3 * i, action="fail_node", u=(4, i))
+            for i in range(8)
+        ]
+        rt = Runtime(XTree(4), faults=FaultSchedule(events), max_load=5)
+        rt.admit(JobSpec(name="a", program="prefix_sum", tree_n=12,
+                         capacity=4, height=4))
+        with pytest.raises(RepairError):
+            rt.run()
+
+    def test_dead_node_before_first_step_repairs_proactively(self):
+        # fault at cycle 0 of the very first superstep: the images move
+        # before any message is sent on a later superstep
+        faults = FaultSchedule([FaultEvent(cycle=0, action="fail_node", u=(4, 5))])
+        res = two_job_runtime(faults=faults).run()
+        assert res.complete
+
+
+class TestCheckpointRestore:
+    def assert_bit_identical(self, make, cuts=(1, 3, 7, 12)):
+        full = make().run().as_dict()
+        for cut in cuts:
+            rt = make()
+            for _ in range(cut):
+                if rt.step() is None:
+                    break
+            blob = json.dumps(rt.checkpoint())
+            restored = Runtime.restore(json.loads(blob))
+            assert restored.run().as_dict() == full, f"cut at step {cut}"
+        return full
+
+    def test_clean_run_bit_identical(self):
+        self.assert_bit_identical(lambda: two_job_runtime())
+
+    def test_faulted_run_bit_identical(self):
+        full = self.assert_bit_identical(
+            lambda: two_job_runtime(faults=NODE_FAULT))
+        assert full["n_repairs"] >= 1
+
+    def test_adaptive_router_state_in_checkpoint(self):
+        make = lambda: two_job_runtime(
+            faults=NODE_FAULT, router=AdaptiveRouter(detour_budget=4))
+        self.assert_bit_identical(make, cuts=(2, 5))
+
+    def test_checkpoint_json_roundtrip_via_file(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        rt = two_job_runtime(faults=NODE_FAULT)
+        for _ in range(4):
+            rt.step()
+        rt.checkpoint_json(path)
+        restored = Runtime.restore_json(path)
+        assert restored.run().as_dict() == two_job_runtime(
+            faults=NODE_FAULT).run().as_dict()
+
+    def test_restore_rejects_unknown_version(self):
+        state = two_job_runtime().checkpoint()
+        state["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            Runtime.restore(state)
+
+    def test_checkpoint_preserves_policy_and_clock(self):
+        rt = two_job_runtime(policy="fair")
+        for _ in range(5):
+            rt.step()
+        restored = Runtime.restore(rt.checkpoint())
+        assert restored.policy.name == "fair"
+        assert restored.cycle == rt.cycle
+        assert [j.spec.name for j in restored.jobs] == ["a", "b"]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        fault_cycle=st.integers(min_value=0, max_value=40),
+        cut=st.integers(min_value=0, max_value=20),
+        policy=st.sampled_from(["fifo", "fair"]),
+    )
+    def test_property_restore_is_bit_identical(self, fault_cycle, cut, policy):
+        faults = FaultSchedule([
+            FaultEvent(cycle=fault_cycle, action="fail_node", u=(3, 1)),
+        ])
+        make = lambda: two_job_runtime(policy=policy, faults=faults)
+        full = make().run().as_dict()
+        rt = make()
+        for _ in range(cut):
+            if rt.step() is None:
+                break
+        restored = Runtime.restore(json.loads(json.dumps(rt.checkpoint())))
+        assert restored.run().as_dict() == full
