@@ -1,0 +1,311 @@
+"""Vector-engine benchmark: speedup gate, 10^6-message run, parity corpus (PR 6).
+
+Three measurements for the struct-of-arrays fast path
+(:mod:`repro.simulate.vector_engine`):
+
+* **speedup gate** — classic vs vector engine on the dense pipelined
+  ``neighbor_exchange`` workload ``bench_obs`` gates on (one size up in
+  full mode); timed interleaved with the GC paused and gated on the
+  median of per-pair ratios (see ``bench_obs._best_of_pair``).  Full runs
+  must clear ``MIN_SPEEDUP`` (10x); smoke runs gate at the conservative
+  ``MIN_SPEEDUP_SMOKE`` because CI runners are slow and the smoke
+  workload is small.
+* **million-message feasibility** — a 10^6-message schedule (permutation
+  waves on a 511-node X-tree, spaced past the single-wave makespan so the
+  network stays in steady state) must *complete* on the vector engine;
+  wall time and throughput are recorded, the deterministic makespan is
+  tracked as a ``*_cycles`` regression metric.  Smoke mode runs the same
+  wave construction at 10^5 messages.
+* **parity corpus** — 40+ schedules spanning the four core topologies
+  (X-tree, hypercube, complete binary tree, grid), the adversarial
+  hot-spot/permutation programs, and barrier + pipelined
+  ``simulate_on_host`` supersteps: classic and vector stats must be
+  *bit-identical* field by field; a SHA-256 over the canonical classic
+  stats is recorded so the corpus itself is tamper-evident, and the
+  summed corpus makespan is a tracked ``*_cycles`` metric.
+
+Writes ``BENCH_PR6.json`` at the repo root.  Run::
+
+    python benchmarks/bench_vector.py [--smoke] [--out BENCH_PR6.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from bench_obs import _best_of_pair, _stats_key, make_workloads
+
+from repro.core import theorem1_embedding
+from repro.networks import XTree, registry_instances
+from repro.simulate import (
+    PROGRAMS,
+    Message,
+    SynchronousNetwork,
+    simulate_on_host,
+)
+from repro.trees import make_tree, theorem1_guest_size
+
+MIN_SPEEDUP = 10.0
+MIN_SPEEDUP_SMOKE = 2.0
+#: the four core topologies the parity corpus must span
+CORPUS_TOPOLOGIES = ("xtree", "hypercube", "complete-binary-tree", "grid2d")
+
+
+# ----------------------------------------------------------------------
+# Speedup gate
+# ----------------------------------------------------------------------
+def bench_speedup(r: int, rounds: int, repeats: int, min_speedup: float) -> dict:
+    """Classic vs vector on the bench_obs dense pipelined workload."""
+    repeats = max(repeats, 9)
+    host, dense, _ = make_workloads(r, rounds, gap=1000)
+    classic = SynchronousNetwork(host, engine="classic")
+    vector = SynchronousNetwork(host, engine="vector")
+    classic.deliver_scheduled(dense)  # warm routing tables / dense matrices
+    vector.deliver_scheduled(dense)
+    assert _stats_key(classic.deliver_scheduled(dense)) == _stats_key(
+        vector.deliver_scheduled(dense)
+    ), "speedup workload is not bit-identical between engines"
+    classic_s, vector_s, ratio = _best_of_pair(
+        lambda: classic.deliver_scheduled(dense),
+        lambda: vector.deliver_scheduled(dense),
+        repeats,
+    )
+    return {
+        "name": "vector_speedup",
+        "params": {"messages": len(dense), "host": host.name, "r": r},
+        "classic_s": classic_s,
+        "vector_s": vector_s,
+        "speedup": 1.0 / ratio,
+        "min_speedup": min_speedup,
+        "gated": True,
+        "passed": 1.0 / ratio >= min_speedup,
+    }
+
+
+# ----------------------------------------------------------------------
+# Million-message feasibility
+# ----------------------------------------------------------------------
+def million_schedule(n_messages: int, height: int = 8, seed: int = 0):
+    """Permutation waves on an X-tree, spaced for steady-state occupancy.
+
+    Each wave is a full random permutation of the host nodes; waves are
+    spaced 60 cycles apart — past the measured single-wave makespan — so
+    in-flight population stays bounded and the schedule is *feasible*
+    rather than a congestion-collapse stress test.
+    """
+    topology = XTree(height)
+    nodes = list(topology.nodes())
+    rng = random.Random(seed)
+    schedule = []
+    targets = nodes[:]
+    mid = 0
+    inject = 0
+    while mid < n_messages:
+        rng.shuffle(targets)
+        for src, dst in zip(nodes, targets):
+            if mid >= n_messages:
+                break
+            schedule.append((inject, Message(mid, src, dst)))
+            mid += 1
+        inject += 60
+    return topology, schedule
+
+
+def bench_million(n_messages: int) -> dict:
+    topology, schedule = million_schedule(n_messages)
+    net = SynchronousNetwork(topology, engine="vector")
+    t0 = time.perf_counter()
+    stats = net.deliver_scheduled(schedule)
+    wall = time.perf_counter() - t0
+    completed = len(stats.delivery_cycle) == n_messages
+    return {
+        "name": "million_message_run",
+        "params": {"messages": n_messages, "host": topology.name},
+        "makespan_cycles": stats.cycles,
+        "wall_s": wall,
+        "messages_per_s": n_messages / wall,
+        "completed": completed,
+        "gated": True,
+        "passed": completed,
+    }
+
+
+# ----------------------------------------------------------------------
+# Parity corpus
+# ----------------------------------------------------------------------
+def _canonical_stats(stats) -> dict:
+    """JSON-safe, order-independent form of a DeliveryStats for hashing."""
+    return {
+        "cycles": stats.cycles,
+        "n_messages": stats.n_messages,
+        "delivery_cycle": sorted(stats.delivery_cycle.items()),
+        "link_traffic": sorted(
+            (repr(u), repr(v), c) for (u, v), c in stats.link_traffic.items()
+        ),
+        "max_queue": stats.max_queue,
+    }
+
+
+def corpus_schedules():
+    """Yield ``(label, topology, schedule, link_capacity)`` corpus entries."""
+    topologies = registry_instances(3)
+    for name in CORPUS_TOPOLOGIES:
+        topology = topologies[name]
+        nodes = list(topology.nodes())
+        # seed by position, not hash(name): str hashes vary per process
+        rng = random.Random(1 + CORPUS_TOPOLOGIES.index(name))
+        # random mixed schedules: dense bursts, sparse gaps, self-sends
+        for trial in range(7):
+            schedule = [
+                (
+                    rng.choice([0, 0, 1, 2, 3, 40, 400]),
+                    Message(
+                        mid, rng.choice(nodes), rng.choice(nodes)
+                    ),
+                )
+                for mid in range(rng.randrange(20, 160))
+            ]
+            yield f"{name}/random{trial}", topology, schedule, rng.choice([1, 1, 2, 3])
+        # hot-spot: every node bombards one target at once
+        hot = nodes[len(nodes) // 2]
+        schedule = [
+            (0, Message(i, src, hot))
+            for i, src in enumerate(n for n in nodes if n != hot)
+        ]
+        yield f"{name}/hot_spot", topology, schedule, 1
+        # permutation waves, staggered
+        targets = nodes[:]
+        schedule = []
+        mid = 0
+        for wave in range(3):
+            rng.shuffle(targets)
+            for src, dst in zip(nodes, targets):
+                schedule.append((3 * wave, Message(mid, src, dst)))
+                mid += 1
+        yield f"{name}/permutation", topology, schedule, 2
+
+
+def bench_parity_corpus() -> dict:
+    """Every corpus schedule bit-identical between engines, plus supersteps."""
+    digest = hashlib.sha256()
+    n_schedules = 0
+    corpus_cycles = 0
+    for label, topology, schedule, cap in corpus_schedules():
+        classic = SynchronousNetwork(topology, link_capacity=cap).deliver_scheduled(
+            list(schedule), engine="classic"
+        )
+        vector = SynchronousNetwork(topology, link_capacity=cap).deliver_scheduled(
+            list(schedule), engine="vector"
+        )
+        if _stats_key(classic) != _stats_key(vector):
+            raise AssertionError(f"parity violation on corpus schedule {label}")
+        n_schedules += 1
+        corpus_cycles += classic.cycles
+        digest.update(label.encode())
+        digest.update(
+            json.dumps(_canonical_stats(classic), sort_keys=True).encode()
+        )
+    # simulate_on_host supersteps: adversarial programs through a real
+    # Theorem 1 embedding, barrier and pipelined
+    tree = make_tree("random", theorem1_guest_size(3), seed=0)
+    embedding = theorem1_embedding(tree).embedding
+    for program_name in ("hot_spot", "permutation"):
+        program = PROGRAMS[program_name](tree)
+        for barrier in (True, False):
+            runs = [
+                simulate_on_host(program, embedding, barrier=barrier, engine=engine)
+                for engine in ("classic", "vector")
+            ]
+            if (
+                runs[0].per_superstep_cycles != runs[1].per_superstep_cycles
+                or runs[0].max_link_traffic != runs[1].max_link_traffic
+                or runs[0].max_queue != runs[1].max_queue
+            ):
+                raise AssertionError(
+                    f"parity violation on supersteps {program_name} barrier={barrier}"
+                )
+            n_schedules += 1
+            corpus_cycles += runs[0].total_cycles
+            digest.update(
+                f"{program_name}/{barrier}/{runs[0].per_superstep_cycles}".encode()
+            )
+    return {
+        "name": "parity_corpus",
+        "params": {"corpus": "v1"},
+        "n_schedules": n_schedules,
+        "topologies": list(CORPUS_TOPOLOGIES),
+        "corpus_cycles": corpus_cycles,
+        "sha256": digest.hexdigest(),
+        "identical": True,
+        "gated": True,
+        "passed": n_schedules >= 40,
+    }
+
+
+def run(smoke: bool = False, repeats: int = 9) -> dict:
+    speedup = bench_speedup(
+        r=4 if smoke else 5,
+        rounds=4 if smoke else 8,
+        repeats=repeats,
+        min_speedup=MIN_SPEEDUP_SMOKE if smoke else MIN_SPEEDUP,
+    )
+    million = bench_million(100_000 if smoke else 1_000_000)
+    parity = bench_parity_corpus()
+    results = [speedup, million, parity]
+    return {
+        "bench": "vector engine (PR 6)",
+        "smoke": smoke,
+        "python": sys.version.split()[0],
+        "min_speedup": MIN_SPEEDUP_SMOKE if smoke else MIN_SPEEDUP,
+        "results": results,
+        "all_pass": all(res["passed"] for res in results),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small instances for CI")
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_PR6.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+    record = run(smoke=args.smoke, repeats=args.repeats)
+    for res in record["results"]:
+        if res["name"] == "vector_speedup":
+            print(
+                f"{res['name']:<20} {res['params']}  classic {res['classic_s']*1e3:8.2f} ms   "
+                f"vector {res['vector_s']*1e3:8.2f} ms   speedup {res['speedup']:6.1f}x "
+                f"(gate >= {res['min_speedup']}x)"
+            )
+        elif res["name"] == "million_message_run":
+            print(
+                f"{res['name']:<20} {res['params']}  {res['wall_s']:6.1f} s   "
+                f"{res['messages_per_s']/1e3:7.0f}k msg/s   makespan {res['makespan_cycles']} "
+                f"cycles   completed={res['completed']}"
+            )
+        else:
+            print(
+                f"{res['name']:<20} {res['n_schedules']} schedules over "
+                f"{len(res['topologies'])} topologies + supersteps, "
+                f"{res['corpus_cycles']} summed cycles, sha256 {res['sha256'][:16]}..."
+            )
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not record["all_pass"]:
+        print("FAIL: vector-engine gate failed (speedup / completion / parity)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,6 +114,10 @@ class DistanceOracle:
         self._row_cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self._row_cache_size = row_cache_size
         self._closed_form = topology.has_closed_form_distance
+        #: dense routing tables, built lazily by :meth:`next_hop_matrix`
+        #: and memoised alongside the row cache (one per oracle lifetime)
+        self._next_hop: np.ndarray | None = None
+        self._next_hop_edge: np.ndarray | None = None
         #: lifetime row-cache hit/miss counts (also mirrored into the
         #: process-wide ``repro.obs`` counters ``oracle.row_cache.*``)
         self.row_cache_hits = 0
@@ -284,6 +288,78 @@ class DistanceOracle:
         rows = self.rows(sources)
         out[:] = rows[inverse, bi]
         return out
+
+    # ------------------------------------------------------------------
+    # Dense routing tables
+    # ------------------------------------------------------------------
+    def next_hop_matrix(self) -> np.ndarray:
+        """Dense deterministic routing table ``NH[u, d]`` over the fault-free
+        topology, as an ``(n, n)`` int32 matrix of canonical indices.
+
+        ``NH[u, d]`` is the neighbour of ``u`` that lies on a shortest path
+        towards ``d``, with ties broken towards the smallest canonical
+        index — exactly the policy of
+        :meth:`repro.simulate.engine.SynchronousNetwork.next_hop` (and
+        hence :class:`~repro.simulate.routing.ShortestPathRouter`) on a
+        network with no failed links.  Entries with no next hop (``u == d``
+        or ``d`` unreachable) hold ``-1``.
+
+        Built once from :meth:`all_pairs` and memoised for the oracle's
+        lifetime, like the LRU row cache but a single object: both the
+        classic engine's per-hop routing and the vectorised kernel
+        (:mod:`repro.simulate.vector_engine`) gather from the same matrix.
+        """
+        if self._next_hop is None:
+            self._build_next_hop_tables()
+        return self._next_hop
+
+    def next_hop_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(next_hop, edge_id)`` matrices for the vectorised engine.
+
+        ``edge_id[u, d]`` is the *directed-edge identifier* of the link
+        ``(u, NH[u, d])`` — its position in the CSR ``indices`` array — so
+        one gather yields both the next node and the link whose capacity
+        the hop consumes.  ``-1`` where ``next_hop`` is ``-1``.
+        """
+        if self._next_hop is None:
+            self._build_next_hop_tables()
+        return self._next_hop, self._next_hop_edge
+
+    def _build_next_hop_tables(self) -> None:
+        n = self.n
+        dist = self.all_pairs(dtype=np.int32)
+        indptr, indices = self.indptr, self.indices
+        deg = np.diff(indptr).astype(np.int64)
+        max_deg = int(deg.max(initial=0))
+        # per-row neighbour lists, index-sorted ascending, padded with the
+        # sentinel ``n``; ``pos`` remembers each neighbour's CSR slot (the
+        # directed-edge id)
+        nbr = np.full((n, max_deg), n, dtype=np.int64)
+        pos = np.full((n, max_deg), -1, dtype=np.int64)
+        for u in range(n):
+            s, e = int(indptr[u]), int(indptr[u + 1])
+            row = indices[s:e].astype(np.int64)
+            order = np.argsort(row)
+            nbr[u, : e - s] = row[order]
+            pos[u, : e - s] = s + order
+        nh = np.full((n, n), -1, dtype=np.int32)
+        eid = np.full((n, n), -1, dtype=np.int32)
+        # a neighbour v is a valid next hop towards d iff dist(v, d) is
+        # exactly dist(u, d) - 1; sweeping the index-sorted slots from the
+        # highest down lets the smallest-index candidate overwrite last,
+        # which is precisely the engine's tie-break
+        target = dist - 1
+        for k in range(max_deg - 1, -1, -1):
+            cand = nbr[:, k]
+            valid = cand < n
+            cand_rows = dist[np.where(valid, cand, 0)]
+            mask = valid[:, None] & (cand_rows == target) & (target >= 0)
+            nh = np.where(mask, cand[:, None].astype(np.int32), nh)
+            eid = np.where(mask, pos[:, k].astype(np.int32)[:, None], eid)
+        nh.setflags(write=False)
+        eid.setflags(write=False)
+        self._next_hop = nh
+        self._next_hop_edge = eid
 
     def distance(self, u: Any, v: Any) -> int:
         """Hop distance between two node *labels* through the oracle."""

@@ -155,18 +155,20 @@ class Runtime:
         policy: SchedulerPolicy | str | None = None,
         max_load: int = 16,
         link_capacity: int = 1,
+        engine: str = "auto",
     ):
         if max_load < 1:
             raise ValueError(f"max_load must be >= 1, got {max_load}")
         self.host = host
         self.network = SynchronousNetwork(
-            host, link_capacity=link_capacity, router=router
+            host, link_capacity=link_capacity, router=router, engine=engine
         )
         self.faults = faults
         self.recorder = recorder
         self.policy = make_policy(policy)
         self.max_load = max_load
         self.link_capacity = link_capacity
+        self.engine = engine
         #: global clock: total host cycles consumed by all jobs so far —
         #: the ``fault_offset`` every superstep delivery runs at
         self.cycle = 0
@@ -234,11 +236,107 @@ class Runtime:
         self._run_superstep(job)
         return job
 
-    def run(self) -> RuntimeResult:
-        """Drive every admitted job to a terminal state."""
-        while self.step() is not None:
-            pass
+    def run(self, *, batch: bool = False) -> RuntimeResult:
+        """Drive every admitted job to a terminal state.
+
+        With ``batch=True`` each round co-schedules every active job whose
+        next superstep's routes are link-disjoint from the others' (see
+        :meth:`step_batch`) instead of running one job per step.
+        """
+        if batch:
+            while self.step_batch():
+                pass
+        else:
+            while self.step() is not None:
+                pass
         return self.result()
+
+    def step_batch(self) -> list[Job]:
+        """Run one co-scheduled round of link-disjoint supersteps.
+
+        Every active job whose next superstep's host routes share no
+        directed link with the other batched jobs' routes is merged into
+        *one* delivery on the shared network (one vectorised kernel
+        invocation instead of one per job).  Because the routes are
+        link-disjoint and a barrier round injects everything at once, each
+        job's per-message delivery cycles — and hence its per-superstep
+        cycle counts — are *bit-identical* to running its superstep solo
+        (gated in ``tests/test_vector_engine.py``); only the global clock
+        differs, advancing by the round's makespan (the jobs genuinely ran
+        concurrently) rather than the sum of solo makespans.
+
+        Jobs whose routes collide with an earlier-admitted job's, and all
+        jobs when faults/TTL/recorder/adaptive routing are active (their
+        bookkeeping is inherently per-delivery), fall back to the ordinary
+        one-job :meth:`step`.  Returns the jobs that ran this round.
+        """
+        active = self.active_jobs()
+        if not active:
+            return []
+        batchable = (
+            self.faults is None
+            and not self._observing()
+            and not self.network.router.adaptive
+            and all(j.spec.ttl is None for j in active)
+        )
+        if not batchable or len(active) < 2:
+            job = self.step()
+            return [job] if job is not None else []
+        # greedy link-disjoint selection in admission order: a job joins
+        # the round iff its routes avoid every link already claimed
+        picked: list[tuple[Job, list[Message], int]] = []
+        claimed: set[tuple[Any, Any]] = set()
+        route = self.network.route
+        for job in active:
+            k = job.next_step
+            phi = job.embedding.phi
+            messages = []
+            links: set[tuple[Any, Any]] = set()
+            mid = job.msg_seq
+            for src, dst in job.program.supersteps[k]:
+                m = Message(mid, phi[src], phi[dst])
+                messages.append(m)
+                mid += 1
+                if m.src != m.dst:
+                    path = route(m.src, m.dst)
+                    links.update(zip(path, path[1:]))
+            if picked and (links & claimed):
+                continue
+            claimed |= links
+            picked.append((job, messages, k))
+        if len(picked) < 2:
+            job = self.step()
+            return [job] if job is not None else []
+        # merge into one delivery under fresh ids, then split per job
+        merged: list[Message] = []
+        owner: list[tuple[Job, int]] = []
+        for job, messages, _k in picked:
+            for m in messages:
+                owner.append((job, m.msg_id))
+                merged.append(Message(len(merged), m.src, m.dst))
+        stats = self.network.deliver(merged)
+        base = self.cycle
+        per_job_last: dict[int, int] = {}
+        for fresh, local in stats.delivery_cycle.items():
+            job, orig = owner[fresh]
+            job.delivered[orig] = base + local if base else local
+            ji = id(job)
+            if local > per_job_last.get(ji, -1):
+                per_job_last[ji] = local
+        round_cycles = 0
+        for job, messages, k in picked:
+            job_cycles = per_job_last.get(id(job), 0)
+            round_cycles = max(round_cycles, job_cycles)
+            job.msg_seq += len(messages)
+            job.consumed_cycles += job_cycles
+            job.next_step = k + 1
+            job.per_step_cycles.append(job.consumed_cycles)
+            if job.next_step >= job.program.n_supersteps:
+                job.status = "done"
+            elif job.over_budget():
+                job.status = "budget_exhausted"
+        self.cycle += round_cycles
+        return [job for job, _m, _k in picked]
 
     def result(self) -> RuntimeResult:
         return RuntimeResult(
@@ -412,6 +510,7 @@ class Runtime:
             "cycle": self.cycle,
             "max_load": self.max_load,
             "link_capacity": self.link_capacity,
+            "engine": self.engine,
             "policy": self.policy.name,
             "host": _host_spec(self.host),
             "router": _router_spec(self.network.router),
@@ -464,6 +563,7 @@ class Runtime:
             policy=state["policy"],
             max_load=state["max_load"],
             link_capacity=state["link_capacity"],
+            engine=state.get("engine", "auto"),
         )
         for entry in state["applied_events"]:
             ev = FaultSchedule.from_obj([entry]).events[0]

@@ -6,7 +6,14 @@ into measured slowdown of real tree programs.
 """
 
 from .compute import simulated_prefix, simulated_reduction
-from .engine import DeliveryStats, Message, SynchronousNetwork, UnreachableError
+from .engine import (
+    ENGINES,
+    DeliveryStats,
+    Message,
+    SynchronousNetwork,
+    UnreachableError,
+)
+from .vector_engine import VECTOR_MAX_NODES, vector_supported
 from .faults import (
     DegradedResult,
     FaultEvent,
@@ -35,6 +42,9 @@ __all__ = [
     "DeliveryStats",
     "SynchronousNetwork",
     "UnreachableError",
+    "ENGINES",
+    "VECTOR_MAX_NODES",
+    "vector_supported",
     "FaultEvent",
     "FaultSchedule",
     "FaultReport",

@@ -25,11 +25,28 @@ from typing import TYPE_CHECKING, Any, Hashable
 from ..networks.base import Topology, bfs_distances_from
 from ..obs import Recorder
 from .routing import Router, make_router
+from .vector_engine import (
+    VECTOR_MAX_NODES,
+    vector_deliver_scheduled,
+    vector_supported,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .faults import FaultEvent, FaultSchedule
 
-__all__ = ["Message", "DeliveryStats", "SynchronousNetwork", "UnreachableError"]
+__all__ = [
+    "Message",
+    "DeliveryStats",
+    "SynchronousNetwork",
+    "UnreachableError",
+    "ENGINES",
+]
+
+#: delivery engine selectors: ``auto`` dispatches to the vectorised kernel
+#: whenever its preconditions hold (see :mod:`repro.simulate.vector_engine`)
+#: and falls back to the classic loop otherwise; ``classic`` forces the
+#: reference loop; ``vector`` forces the kernel and raises when it cannot run
+ENGINES = ("auto", "classic", "vector")
 
 
 class UnreachableError(RuntimeError):
@@ -109,16 +126,24 @@ class SynchronousNetwork:
         link_capacity: int = 1,
         failed_links: Iterable[tuple[Node, Node]] | None = None,
         router: Router | str | None = None,
+        engine: str = "auto",
     ):
         if link_capacity < 1:
             raise ValueError(f"link capacity must be >= 1, got {link_capacity}")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
         self.topology = topology
         self.link_capacity = link_capacity
+        self.engine = engine
         self.router = make_router(router).bind(self)
         self.failed: set[frozenset] = set()
         #: latency faults: link -> extra cycles per crossing (slow, not dead)
         self.link_delays: dict[frozenset, int] = {}
         self._dist_to: dict[Node, dict[Node, int]] = {}
+        #: dense next-hop tables from the DistanceOracle, fetched lazily for
+        #: the fault-free classic path; ``False`` marks "topology too large"
+        self._dense_nh = None
+        self._dense_labels: list[Node] | None = None
         #: True while deliver_scheduled runs — bare fail/heal calls are then
         #: rejected (use a FaultSchedule for mid-delivery faults)
         self._delivering = False
@@ -323,10 +348,41 @@ class SynchronousNetwork:
             self._dist_to[dst] = table
         return table
 
+    def _dense_next_hop(self):
+        """Lazily fetch the oracle's dense next-hop matrix (fault-free only).
+
+        Returns the ``(n, n)`` int32 matrix, or ``False`` when the topology
+        exceeds :data:`~repro.simulate.vector_engine.VECTOR_MAX_NODES` and
+        the O(n^2) table is not worth building.
+        """
+        nh = self._dense_nh
+        if nh is None:
+            if self.topology.n_nodes > VECTOR_MAX_NODES:
+                nh = self._dense_nh = False
+            else:
+                from ..analysis.oracle import oracle_for
+
+                nh = self._dense_nh = oracle_for(self.topology).next_hop_matrix()
+                self._dense_labels = list(self.topology.nodes())
+        return nh
+
     def next_hop(self, node: Node, dst: Node) -> Node:
         """Deterministic shortest-path next hop from ``node`` towards ``dst``."""
         if node == dst:
             raise ValueError("message already at destination")
+        if not self.failed:
+            # fault-free: one gather from the oracle's dense table replaces
+            # the per-call neighbour scan (same smallest-index tie-break,
+            # property-tested equal in tests/test_vector_engine.py)
+            nh = self._dense_next_hop()
+            if nh is not False:
+                topo = self.topology
+                hop = nh[topo.index(node), topo.index(dst)]
+                if hop >= 0:
+                    return self._dense_labels[hop]
+                raise UnreachableError(
+                    f"{node!r} cannot reach {dst!r} (failed links)"
+                )
         dist = self._dist_table(dst)
         if node not in dist:
             raise UnreachableError(f"{node!r} cannot reach {dst!r} (failed links)")
@@ -354,6 +410,7 @@ class SynchronousNetwork:
         recorder: Recorder | None = None,
         faults: "FaultSchedule | None" = None,
         ttl: int | None = None,
+        engine: str | None = None,
     ) -> DeliveryStats:
         """Deliver all ``messages``, injected simultaneously at cycle 1.
 
@@ -363,7 +420,11 @@ class SynchronousNetwork:
         Returns per-message delivery cycles and per-link traffic.
         """
         return self.deliver_scheduled(
-            [(0, m) for m in messages], recorder=recorder, faults=faults, ttl=ttl
+            [(0, m) for m in messages],
+            recorder=recorder,
+            faults=faults,
+            ttl=ttl,
+            engine=engine,
         )
 
     def deliver_scheduled(
@@ -374,6 +435,7 @@ class SynchronousNetwork:
         faults: "FaultSchedule | None" = None,
         ttl: int | None = None,
         fault_offset: int = 0,
+        engine: str | None = None,
     ) -> DeliveryStats:
         """Deliver messages with per-message injection cycles.
 
@@ -425,8 +487,29 @@ class SynchronousNetwork:
 
         Without ``faults``/``ttl`` the semantics are exactly historical:
         an unreachable destination raises :class:`UnreachableError`.
+
+        ``engine`` overrides the network's configured engine for this one
+        delivery (``"auto"`` / ``"classic"`` / ``"vector"``): ``auto``
+        dispatches to the struct-of-arrays kernel
+        (:mod:`repro.simulate.vector_engine`) whenever its preconditions
+        hold and the classic loop otherwise; ``vector`` raises
+        :class:`ValueError` when the kernel cannot run; ``classic`` always
+        uses the reference loop.  Both engines return bit-identical
+        :class:`DeliveryStats`.
         """
+        mode = self.engine if engine is None else engine
+        if mode not in ENGINES:
+            raise ValueError(f"unknown engine {mode!r}; choose from {ENGINES}")
         rec = recorder if recorder is not None and recorder.enabled else None
+        if mode != "classic":
+            why = vector_supported(self, rec, faults, ttl)
+            if why is None:
+                return vector_deliver_scheduled(self, schedule)
+            if mode == "vector":
+                raise ValueError(
+                    f"engine='vector' cannot run this delivery: {why}; "
+                    "use engine='auto' to fall back to the classic loop"
+                )
         router = self.router
         adaptive = router.adaptive
         fault_mode = faults is not None or ttl is not None
@@ -478,6 +561,15 @@ class SynchronousNetwork:
         if adaptive:
             router.begin_delivery()
             cycle_links: Counter = Counter()
+        # sorted injection-cycle index: the drain fast-forward and the
+        # fault-stall fast-forward used to rescan min(pending) per event,
+        # which is quadratic on sparse million-message schedules; a sorted
+        # list plus a cursor makes the next-injection lookup O(1).  The
+        # cursor can never skip a cycle: the clock either steps by one or
+        # jumps to a target <= inj_cycles[inj_ptr].
+        inj_cycles = sorted(pending)
+        inj_ptr = 0
+        n_inj = len(inj_cycles)
         cycle = 0
         in_network = 0  # routed messages injected but not yet delivered
         # hot-loop locals: at benchmark volume the repeated attribute
@@ -490,18 +582,20 @@ class SynchronousNetwork:
         fast = not fault_mode and not adaptive and rec is None and not delayed
         self._delivering = True
         try:
-            while in_network or pending:
+            while in_network or inj_ptr < n_inj:
                 if not in_network:
-                    # network drained: jump over the idle gap (all keys below
-                    # the current cycle were already popped, so min() is next)
-                    cycle = min(pending)
-                for s, m in pending.pop(cycle, ()):
-                    queues[m.src].append((s, m))
-                    in_network += 1
-                    if fault_mode:
-                        inject_at[m.msg_id] = cycle
-                    if rec is not None:
-                        rec.on_inject(cycle, m)
+                    # network drained: jump over the idle gap straight to
+                    # the next injection cycle in the sorted index
+                    cycle = inj_cycles[inj_ptr]
+                if inj_ptr < n_inj and cycle == inj_cycles[inj_ptr]:
+                    inj_ptr += 1
+                    for s, m in pending.pop(cycle):
+                        queues[m.src].append((s, m))
+                        in_network += 1
+                        if fault_mode:
+                            inject_at[m.msg_id] = cycle
+                        if rec is not None:
+                            rec.on_inject(cycle, m)
                 cycle += 1
                 while fi < n_fev and fev[fi].cycle - fault_offset <= cycle:
                     ev = fev[fi]
@@ -641,8 +735,8 @@ class SynchronousNetwork:
                     # fault event — or, with neither left, drop the stragglers
                     # as partitioned so the run terminates with a report.
                     targets = []
-                    if pending:
-                        targets.append(min(pending))
+                    if inj_ptr < n_inj:
+                        targets.append(inj_cycles[inj_ptr])
                     if fi < n_fev:
                         targets.append(fev[fi].cycle - fault_offset - 1)
                     if in_transit:

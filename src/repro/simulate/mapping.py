@@ -74,6 +74,7 @@ def simulate_on_host(
     router: Router | str | None = None,
     faults: FaultSchedule | None = None,
     ttl: int | None = None,
+    engine: str = "auto",
 ) -> ExecutionStats | DegradedResult:
     """Execute ``program`` on ``embedding.host`` and return cycle counts.
 
@@ -106,10 +107,17 @@ def simulate_on_host(
     wrapping the :class:`ExecutionStats` with a
     :class:`~repro.simulate.faults.FaultReport` — undeliverable messages
     land in the report's ``failed`` map instead of raising or hanging.
+
+    ``engine`` selects the delivery engine (see
+    :data:`repro.simulate.engine.ENGINES`): the default ``"auto"``
+    dispatches each superstep to the vectorised kernel when its
+    preconditions hold and the classic loop otherwise.
     """
     if program.tree is not embedding.guest and program.tree.parent_array != embedding.guest.parent_array:
         raise ValueError("program and embedding use different guest trees")
-    network = SynchronousNetwork(embedding.host, link_capacity=link_capacity, router=router)
+    network = SynchronousNetwork(
+        embedding.host, link_capacity=link_capacity, router=router, engine=engine
+    )
     host_name = getattr(embedding.host, "name", type(embedding.host).__name__)
     observing = recorder is not None and recorder.enabled
     fault_mode = faults is not None or ttl is not None
@@ -185,6 +193,7 @@ def simulate_on_guest(
     link_capacity: int = 1,
     recorder: Recorder | None = None,
     router: Router | str | None = None,
+    engine: str = "auto",
 ) -> ExecutionStats:
     """Execute the program on the guest tree itself (the reference machine).
 
@@ -223,5 +232,10 @@ def simulate_on_guest(
     host = _TreeNet(program.tree)
     identity = Embedding(program.tree, host, {v: v for v in program.tree.nodes()})
     return simulate_on_host(
-        program, identity, link_capacity=link_capacity, recorder=recorder, router=router
+        program,
+        identity,
+        link_capacity=link_capacity,
+        recorder=recorder,
+        router=router,
+        engine=engine,
     )
