@@ -254,6 +254,17 @@ def _cmd_runtime(args) -> int:
         print(f"wrote checkpoint: {ckpt}")
     res = rt.result()
     print(res)
+    if not res.complete:
+        # mirror `simulate`'s fault report: name every job that did not
+        # finish clean, so the nonzero exit is attributable from logs
+        for j in res.jobs:
+            if j["status"] == "done" and not j["failed"]:
+                continue
+            why = j["status"] if j["status"] != "done" else "degraded"
+            extra = (
+                f", {len(j['failed'])} failed messages" if j["failed"] else ""
+            )
+            print(f"incomplete job {j['name']!r}: {why}{extra}", file=sys.stderr)
     if args.trace:
         try:
             recorder.to_jsonl(args.trace)
@@ -267,7 +278,131 @@ def _cmd_runtime(args) -> int:
 
         print()
         print(metrics_report(recorder))
+    # exit contract (service workers and CI depend on it, matching
+    # `simulate`): 0 = every job done with every message delivered;
+    # 1 = degraded/incomplete (failed messages, exhausted budgets) or a
+    # RepairError that exhausted the embedding slack (handled above)
     return 0 if res.complete else 1
+
+
+def _cmd_service_serve(args) -> int:
+    from .service.api import serve
+
+    serve(args.root, n_shards=args.shards, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_service_run(args) -> int:
+    import json
+
+    from .service import Scenario, run_scenario
+
+    try:
+        scenario = Scenario.from_json(args.scenario)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: bad scenario {args.scenario}: {exc}", file=sys.stderr)
+        return 1
+    res = run_scenario(scenario, checkpoint_path=args.checkpoint)
+    if args.json:
+        print(json.dumps(res.as_dict(), indent=2))
+    else:
+        print(res)
+    # same exit contract as `runtime`: 0 complete, 1 degraded/incomplete
+    return 0 if res.complete else 1
+
+
+def _cmd_service_submit(args) -> int:
+    import json
+
+    from .service import ServiceClient
+    from .service.client import ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        doc = json.loads(Path(args.scenario).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load scenario {args.scenario}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        job_id = client.submit(doc)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(job_id)
+    if not args.wait:
+        return 0
+    meta = client.wait(job_id, timeout=args.timeout)
+    result = client.result(job_id)
+    print(f"{meta['status']} on shard {meta['shard']} "
+          f"(attempts {meta['attempts']})")
+    if meta["status"] != "done":
+        print(f"error: {meta.get('error')}", file=sys.stderr)
+        return 1
+    return int(result.get("exit_code", 1))
+
+
+def _cmd_service_status(args) -> int:
+    import json
+
+    from .service import ServiceClient
+    from .service.client import ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        payload = client.job(args.job_id) if args.job_id else client.fleet()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_service_fetch(args) -> int:
+    import json
+
+    from .service import ServiceClient
+    from .service.client import ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.trace:
+            for record in client.trace_lines(args.job_id):
+                print(json.dumps(record))
+            return 0
+        result = client.result(args.job_id)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2))
+    return int(result.get("exit_code", 1))
+
+
+def _cmd_service_loadgen(args) -> int:
+    import json
+
+    from .service import Fleet, Scenario, ServiceClient, run_load, scenario_variants
+
+    try:
+        base = Scenario.from_json(args.scenario)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: bad scenario {args.scenario}: {exc}", file=sys.stderr)
+        return 1
+    scenarios = scenario_variants(base, args.n)
+    if args.url:
+        report = run_load(
+            ServiceClient(args.url), scenarios,
+            concurrency=args.concurrency, timeout=args.timeout,
+            verify=not args.no_verify,
+        )
+    else:
+        with Fleet(args.root, n_shards=args.shards) as fleet:
+            report = run_load(
+                fleet, scenarios,
+                concurrency=args.concurrency, timeout=args.timeout,
+                verify=not args.no_verify,
+            )
+    print(json.dumps(report.as_dict(), indent=2))
+    return 0 if report.ok else 1
 
 
 def _cmd_online(args) -> int:
@@ -393,6 +528,64 @@ def main(argv: list[str] | None = None) -> int:
     p_rt.add_argument("--metrics", action="store_true",
                       help="print per-cycle metrics, timing spans and counters")
     p_rt.set_defaults(func=_cmd_runtime)
+
+    p_svc = sub.add_parser(
+        "service",
+        help="simulation-as-a-service: scenario jobs on a worker fleet (repro.service)",
+    )
+    svc_sub = p_svc.add_subparsers(dest="service_command", required=True)
+
+    p_serve = svc_sub.add_parser("serve", help="run a fleet + REST API in the foreground")
+    p_serve.add_argument("--root", default="service-data", help="store root directory")
+    p_serve.add_argument("--shards", type=int, default=2, help="worker processes")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.set_defaults(func=_cmd_service_serve)
+
+    p_run = svc_sub.add_parser(
+        "run", help="execute one scenario JSON in-process (no fleet) — the reference runner"
+    )
+    p_run.add_argument("scenario", help="scenario JSON path (see scenarios/)")
+    p_run.add_argument("--checkpoint", metavar="PATH",
+                       help="resume from PATH if it exists; keep it updated while running")
+    p_run.add_argument("--json", action="store_true", help="print the result as JSON")
+    p_run.set_defaults(func=_cmd_service_run)
+
+    p_submit = svc_sub.add_parser("submit", help="submit a scenario to a running service")
+    p_submit.add_argument("scenario", help="scenario JSON path")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8642", help="service base URL")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until terminal; exit with the job's exit code")
+    p_submit.add_argument("--timeout", type=float, default=120.0)
+    p_submit.set_defaults(func=_cmd_service_submit)
+
+    p_status = svc_sub.add_parser("status", help="show fleet status or one job's metadata")
+    p_status.add_argument("job_id", nargs="?", help="job id (omit for the whole fleet)")
+    p_status.add_argument("--url", default="http://127.0.0.1:8642")
+    p_status.set_defaults(func=_cmd_service_status)
+
+    p_fetch = svc_sub.add_parser("fetch", help="fetch a job's result (or streamed trace)")
+    p_fetch.add_argument("job_id")
+    p_fetch.add_argument("--url", default="http://127.0.0.1:8642")
+    p_fetch.add_argument("--trace", action="store_true", help="fetch the JSONL trace instead")
+    p_fetch.set_defaults(func=_cmd_service_fetch)
+
+    p_load = svc_sub.add_parser(
+        "loadgen",
+        help="replay N concurrent submissions (verifies results bit-identical "
+             "to direct runs unless --no-verify)",
+    )
+    p_load.add_argument("scenario", help="base scenario JSON (cloned N times)")
+    p_load.add_argument("-n", type=int, default=20, dest="n", help="submissions (default 20)")
+    p_load.add_argument("--url", help="target a running service over HTTP")
+    p_load.add_argument("--root", default="loadgen-data",
+                        help="with no --url: spin up a local fleet on this store root")
+    p_load.add_argument("--shards", type=int, default=2)
+    p_load.add_argument("--concurrency", type=int, default=16)
+    p_load.add_argument("--timeout", type=float, default=300.0)
+    p_load.add_argument("--no-verify", action="store_true",
+                        help="skip the bit-identity check against direct runs")
+    p_load.set_defaults(func=_cmd_service_loadgen)
 
     p_online = sub.add_parser("online", help="grow the tree node-by-node (tree machine)")
     _add_tree_args(p_online)

@@ -67,8 +67,10 @@ class TraceEvent:
     """One lifecycle event of one message (or of the network itself).
 
     ``kind`` is one of ``inject`` / ``hop`` / ``queued`` / ``delivered`` /
-    ``fault`` / ``reroute`` / ``dropped`` / ``repair`` / ``migrate`` (the
-    last two are runtime-level: ``node`` holds the job name).  ``node`` is the location (for
+    ``fault`` / ``reroute`` / ``dropped`` / ``repair`` / ``migrate`` /
+    ``batch_fallback`` (the last three are runtime-level: ``node`` holds
+    the job name for ``repair``/``migrate``; ``batch_fallback`` carries
+    the ``";"``-joined reasons in ``detail``).  ``node`` is the location (for
     ``hop`` the link *source*; ``link_dst`` then holds the other endpoint;
     for ``fault`` the pair names the affected link or node).  ``detail``
     carries the fault action (``fail_link``, ...) or the drop reason
@@ -182,6 +184,12 @@ class Recorder:
         """Messages ``msg_ids`` of ``job``, stranded by a node death, are
         being re-sent to their repaired images at global ``cycle``."""
 
+    def on_batch_fallback(self, cycle: int, reasons: str, n_active: int) -> None:
+        """A runtime batch round degraded to per-job stepping at global
+        ``cycle``; ``reasons`` is a ``";"``-joined list (``faults``,
+        ``recorder``, ``adaptive_router``, ``ttl``, ``single_job``,
+        ``link_overlap``) and ``n_active`` the runnable jobs that round."""
+
 
 class NullRecorder(Recorder):
     """The do-nothing default: ``enabled`` stays false."""
@@ -217,6 +225,7 @@ class TraceRecorder(Recorder):
         self.n_reroutes = 0
         self.n_repairs = 0
         self.n_migrated = 0
+        self.n_batch_fallbacks = 0
         self._phase = 0
         self._cycle_links: Counter = Counter()
         # incremental aggregates: identical in both modes, so summaries
@@ -304,6 +313,13 @@ class TraceRecorder(Recorder):
         self._record_event(
             TraceEvent(cycle, "migrate", -1, job, phase=self._phase,
                        detail=f"messages={len(ids)}")
+        )
+
+    def on_batch_fallback(self, cycle: int, reasons: str, n_active: int) -> None:
+        self.n_batch_fallbacks += 1
+        self._record_event(
+            TraceEvent(cycle, "batch_fallback", -1, phase=self._phase,
+                       detail=f"{reasons} n_active={n_active}")
         )
 
     def on_cycle_end(self, cycle: int, queues, in_flight: int) -> None:
@@ -417,6 +433,8 @@ class TraceRecorder(Recorder):
         if self.n_repairs or self.n_migrated:
             out["repairs"] = self.n_repairs
             out["messages_migrated"] = self.n_migrated
+        if self.n_batch_fallbacks:
+            out["batch_fallbacks"] = self.n_batch_fallbacks
         return out
 
     # -- export --------------------------------------------------------

@@ -67,6 +67,10 @@ class RuntimeResult:
     jobs: list[dict] = field(default_factory=list)
     n_repairs: int = 0
     n_migrated: int = 0
+    #: named runtime counters (e.g. ``batch_fallback.faults``): observable
+    #: evidence of silent degradations like batching falling back to
+    #: per-job stepping.  Checkpointed, so restore keeps them bit-identical.
+    counters: dict = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -80,6 +84,7 @@ class RuntimeResult:
             "policy": self.policy,
             "n_repairs": self.n_repairs,
             "n_migrated": self.n_migrated,
+            "counters": dict(self.counters),
             "jobs": [dict(j) for j in self.jobs],
         }
 
@@ -156,12 +161,17 @@ class Runtime:
         max_load: int = 16,
         link_capacity: int = 1,
         engine: str = "auto",
+        vector_max_nodes: int | None = None,
     ):
         if max_load < 1:
             raise ValueError(f"max_load must be >= 1, got {max_load}")
         self.host = host
         self.network = SynchronousNetwork(
-            host, link_capacity=link_capacity, router=router, engine=engine
+            host,
+            link_capacity=link_capacity,
+            router=router,
+            engine=engine,
+            vector_max_nodes=vector_max_nodes,
         )
         self.faults = faults
         self.recorder = recorder
@@ -169,6 +179,11 @@ class Runtime:
         self.max_load = max_load
         self.link_capacity = link_capacity
         self.engine = engine
+        self.vector_max_nodes = vector_max_nodes
+        #: named counters — ``batch_fallback.<reason>`` records every round
+        #: :meth:`step_batch` degraded to per-job stepping, so service-level
+        #: batching regressions are observable instead of just slow
+        self.counters: Counter = Counter()
         #: global clock: total host cycles consumed by all jobs so far —
         #: the ``fault_offset`` every superstep delivery runs at
         self.cycle = 0
@@ -269,19 +284,33 @@ class Runtime:
         jobs when faults/TTL/recorder/adaptive routing are active (their
         bookkeeping is inherently per-delivery), fall back to the ordinary
         one-job :meth:`step`.  Returns the jobs that ran this round.
+
+        Every fallback is *observable*: the reason is counted in
+        ``counters["batch_fallback.<reason>"]`` and, when a recorder is
+        listening, emitted as a ``batch_fallback`` trace event — a service
+        that expects merged rounds can alert on the counter instead of
+        discovering the regression as throughput loss.  Reasons:
+        ``faults``, ``recorder``, ``adaptive_router``, ``ttl`` (a
+        precondition of the merged delivery fails), ``single_job`` (fewer
+        than two runnable jobs), ``link_overlap`` (routes collide, so no
+        round of >= 2 link-disjoint jobs exists).
         """
         active = self.active_jobs()
         if not active:
             return []
-        batchable = (
-            self.faults is None
-            and not self._observing()
-            and not self.network.router.adaptive
-            and all(j.spec.ttl is None for j in active)
-        )
-        if not batchable or len(active) < 2:
-            job = self.step()
-            return [job] if job is not None else []
+        reasons = []
+        if self.faults is not None:
+            reasons.append("faults")
+        if self._observing():
+            reasons.append("recorder")
+        if self.network.router.adaptive:
+            reasons.append("adaptive_router")
+        if any(j.spec.ttl is not None for j in active):
+            reasons.append("ttl")
+        if not reasons and len(active) < 2:
+            reasons.append("single_job")
+        if reasons:
+            return self._batch_fallback(reasons, len(active))
         # greedy link-disjoint selection in admission order: a job joins
         # the round iff its routes avoid every link already claimed
         picked: list[tuple[Job, list[Message], int]] = []
@@ -305,8 +334,7 @@ class Runtime:
             claimed |= links
             picked.append((job, messages, k))
         if len(picked) < 2:
-            job = self.step()
-            return [job] if job is not None else []
+            return self._batch_fallback(["link_overlap"], len(active))
         # merge into one delivery under fresh ids, then split per job
         merged: list[Message] = []
         owner: list[tuple[Job, int]] = []
@@ -338,6 +366,20 @@ class Runtime:
         self.cycle += round_cycles
         return [job for job, _m, _k in picked]
 
+    def _batch_fallback(self, reasons: list[str], n_active: int) -> list[Job]:
+        """Degrade one batch round to :meth:`step`, leaving evidence.
+
+        ``counters["batch_fallback.<reason>"]`` increments per reason per
+        round; a listening recorder additionally gets a ``batch_fallback``
+        trace event carrying all reasons at the current global cycle.
+        """
+        for reason in reasons:
+            self.counters[f"batch_fallback.{reason}"] += 1
+        if self._observing():
+            self.recorder.on_batch_fallback(self.cycle, ";".join(reasons), n_active)
+        job = self.step()
+        return [job] if job is not None else []
+
     def result(self) -> RuntimeResult:
         return RuntimeResult(
             makespan=self.cycle,
@@ -345,6 +387,7 @@ class Runtime:
             jobs=[j.report() for j in self._jobs],
             n_repairs=sum(j.n_repairs for j in self._jobs),
             n_migrated=sum(j.n_migrated for j in self._jobs),
+            counters=dict(sorted(self.counters.items())),
         )
 
     # ------------------------------------------------------------------
@@ -511,6 +554,8 @@ class Runtime:
             "max_load": self.max_load,
             "link_capacity": self.link_capacity,
             "engine": self.engine,
+            "vector_max_nodes": self.vector_max_nodes,
+            "counters": dict(sorted(self.counters.items())),
             "policy": self.policy.name,
             "host": _host_spec(self.host),
             "router": _router_spec(self.network.router),
@@ -564,7 +609,9 @@ class Runtime:
             max_load=state["max_load"],
             link_capacity=state["link_capacity"],
             engine=state.get("engine", "auto"),
+            vector_max_nodes=state.get("vector_max_nodes"),
         )
+        rt.counters.update(state.get("counters", {}))
         for entry in state["applied_events"]:
             ev = FaultSchedule.from_obj([entry]).events[0]
             _replay_event(rt.network, ev)

@@ -1,0 +1,112 @@
+"""``urllib``-based client for the service REST API.
+
+Mirrors :mod:`repro.service.api` route by route; raises
+:class:`ServiceError` with the server's error text on any non-2xx
+response (except the polling helpers, which treat 409 as "not yet").
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx API response, with the HTTP status attached."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8642")``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        req = urllib.request.Request(
+            self.base_url + path,
+            method=method,
+            data=None if payload is None else json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        # transient socket drops under heavy concurrency are retried for
+        # idempotent GETs only; a POST might already have been processed
+        attempts = 3 if method == "GET" else 1
+        for attempt in range(attempts):
+            try:
+                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                    return resp.read()
+            except urllib.error.HTTPError as exc:
+                detail = exc.read().decode(errors="replace")
+                try:
+                    detail = json.loads(detail)["error"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    pass
+                raise ServiceError(exc.code, detail) from None
+            except (ConnectionError, urllib.error.URLError):
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(0.05 * (attempt + 1))
+
+    def _get_json(self, path: str) -> dict:
+        return json.loads(self._request("GET", path))
+
+    # -- API ------------------------------------------------------------
+    def healthz(self) -> bool:
+        return bool(self._get_json("/v1/healthz").get("ok"))
+
+    def submit(self, scenario_doc: dict) -> str:
+        """Submit one scenario document; returns the assigned job id."""
+        return json.loads(self._request("POST", "/v1/jobs", scenario_doc))["id"]
+
+    def jobs(self) -> list[dict]:
+        return self._get_json("/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._get_json(f"/v1/jobs/{job_id}")
+
+    def scenario(self, job_id: str) -> dict:
+        return self._get_json(f"/v1/jobs/{job_id}/scenario")
+
+    def result(self, job_id: str) -> dict:
+        """Fetch a terminal result (raises ``ServiceError(409)`` while running)."""
+        return self._get_json(f"/v1/jobs/{job_id}/result")
+
+    def trace_lines(self, job_id: str) -> list[dict]:
+        """Fetch a streamed JSONL trace as parsed records."""
+        body = self._request("GET", f"/v1/jobs/{job_id}/trace")
+        return [json.loads(line) for line in body.decode().splitlines() if line]
+
+    def fleet(self) -> dict:
+        return self._get_json("/v1/fleet")
+
+    def recover(self) -> list[str]:
+        return json.loads(self._request("POST", "/v1/recover", {}))["requeued"]
+
+    # -- polling helpers ------------------------------------------------
+    def wait(self, job_id: str, *, timeout: float = 60.0, poll: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns its final metadata."""
+        deadline = time.monotonic() + timeout
+        while True:
+            meta = self.job(job_id)
+            if meta["status"] in ("done", "failed"):
+                return meta
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {meta['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def wait_result(self, job_id: str, *, timeout: float = 60.0) -> dict:
+        """Wait for completion, then return the result document."""
+        self.wait(job_id, timeout=timeout)
+        return self.result(job_id)

@@ -1,0 +1,197 @@
+"""Fleet manager: worker processes, placement, and crash recovery.
+
+A :class:`Fleet` owns ``n_shards`` worker processes (one per shard, each
+running :func:`repro.service.worker.worker_main`) over one shared
+:class:`~repro.service.store.Store`.  It is the only component that
+*spawns* anything; all job state stays in the store, so a fleet can be
+torn down and a new one pointed at the same root to pick up where the
+old one left off.
+
+Placement is occupancy-based against the runtime's load-16 admission
+bound: a submission goes to the shard with the least outstanding
+*weight* (the sum of queued + running scenarios' job capacities — the
+same quantity each scenario will claim from its runtime's
+``max_load``).  Ties break toward the lowest shard index, which keeps
+placement deterministic for a fixed submission order.  Priority does not
+affect placement, only ordering *within* a shard's queue (the marker
+sort in the store).
+
+Recovery (:meth:`Fleet.recover`) scans ``running/`` markers: a marker
+whose worker process is gone is renamed back onto a queue — possibly a
+*different* shard's (shard migration), chosen by the same least-weight
+rule.  The job's checkpoint lives under ``jobs/<id>/`` and travels with
+it, so the next claimant resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import time
+import uuid
+from pathlib import Path
+
+from .scenario import Scenario
+from .store import JobRecord, Store
+from .worker import worker_main
+
+__all__ = ["Fleet"]
+
+
+def _pid_alive(pid: int | None) -> bool:
+    if pid is None:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+class Fleet:
+    """``n_shards`` worker processes over one store root."""
+
+    def __init__(self, root: str | Path, n_shards: int = 2, *, poll: float = 0.02):
+        self.store = Store(root, n_shards)
+        self.n_shards = n_shards
+        self.poll = poll
+        self._workers: dict[int, mp.Process] = {}
+        self._seq = 0
+        # serialises placement: the API server submits from HTTP threads
+        self._submit_lock = threading.Lock()
+
+    # -- worker lifecycle ----------------------------------------------
+    def _spawn(self, shard: int) -> mp.Process:
+        proc = mp.Process(
+            target=worker_main,
+            args=(str(self.store.root), shard, self.n_shards),
+            kwargs={"poll": self.poll},
+            name=f"repro-worker-{shard}",
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def start(self) -> None:
+        """Clear any stale stop flag and bring up one worker per shard."""
+        self.store.clear_stop()
+        for shard in range(self.n_shards):
+            if shard not in self._workers or not self._workers[shard].is_alive():
+                self._workers[shard] = self._spawn(shard)
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Raise the stop flag and join the workers (terminate stragglers)."""
+        self.store.request_stop()
+        deadline = time.monotonic() + timeout
+        for proc in self._workers.values():
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._workers.clear()
+
+    def kill_worker(self, shard: int) -> int:
+        """SIGKILL one worker (fault injection for tests/benchmarks).
+
+        Returns the killed pid.  The worker gets no chance to clean up —
+        exactly the crash :meth:`recover` exists for.
+        """
+        proc = self._workers[shard]
+        pid = proc.pid
+        proc.kill()
+        proc.join(timeout=5.0)
+        return pid
+
+    def worker_pids(self) -> dict[int, int | None]:
+        return {s: p.pid for s, p in self._workers.items()}
+
+    # -- placement ------------------------------------------------------
+    def _least_loaded_shard(self) -> int:
+        weights = [
+            (self.store.outstanding_weight(s), s) for s in range(self.n_shards)
+        ]
+        return min(weights)[1]
+
+    def submit(self, scenario: Scenario, *, job_id: str | None = None) -> str:
+        """Place a validated scenario on the least-loaded shard's queue."""
+        if job_id is None:
+            job_id = f"{scenario.name}-{uuid.uuid4().hex[:8]}"
+        with self._submit_lock:
+            shard = self._least_loaded_shard()
+            self._seq += 1
+            record = JobRecord(
+                id=job_id,
+                name=scenario.name,
+                status="queued",
+                shard=shard,
+                priority=scenario.priority,
+                weight=scenario.weight,
+                seq=self._seq,
+            )
+            self.store.enqueue(job_id, scenario.as_dict(), record)
+        return job_id
+
+    def submit_doc(self, doc: dict, *, job_id: str | None = None) -> str:
+        """Validate a raw scenario document, then submit it."""
+        return self.submit(Scenario.from_obj(doc), job_id=job_id)
+
+    # -- recovery -------------------------------------------------------
+    def recover(self) -> list[str]:
+        """Requeue every running job whose worker is dead, respawn workers.
+
+        Returns the requeued job ids.  Jobs that already published a
+        result are finalised instead of requeued (the store resolves that
+        race).  A requeued job may land on a different shard — migration —
+        and resumes from its checkpoint there.
+        """
+        requeued: list[str] = []
+        for shard in range(self.n_shards):
+            proc = self._workers.get(shard)
+            worker_dead = proc is None or not proc.is_alive()
+            for job_id in self.store.running_jobs(shard):
+                rec = self.store.read_meta(job_id)
+                # a job is orphaned when the pid that claimed it is gone;
+                # the shard's managed worker being dead implies that too
+                if not worker_dead and _pid_alive(rec.worker_pid):
+                    continue
+                new_shard = self._least_loaded_shard()
+                if self.store.requeue_running(shard, job_id, new_shard):
+                    requeued.append(job_id)
+        self.start()  # respawn any dead workers
+        return requeued
+
+    # -- introspection --------------------------------------------------
+    def status(self) -> dict:
+        """One JSON-safe snapshot of the whole fleet (the API serves this)."""
+        jobs = []
+        for job_id in self.store.list_jobs():
+            try:
+                jobs.append(self.store.read_meta(job_id).as_dict())
+            except (OSError, ValueError):
+                continue  # submission mid-write
+        return {
+            "n_shards": self.n_shards,
+            "workers": {
+                str(s): {"pid": p.pid, "alive": p.is_alive()}
+                for s, p in self._workers.items()
+            },
+            "outstanding_weight": {
+                str(s): self.store.outstanding_weight(s)
+                for s in range(self.n_shards)
+            },
+            "jobs": jobs,
+        }
+
+    def wait(self, job_ids, *, timeout: float = 60.0) -> dict[str, str]:
+        return self.store.wait_terminal(job_ids, timeout=timeout)
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Fleet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,161 @@
+"""Load generator: replay many concurrent scenario submissions.
+
+Drives a target — a local :class:`~repro.service.fleet.Fleet` or a
+:class:`~repro.service.client.ServiceClient` over HTTP — with ``N``
+concurrent submissions from a thread pool, waits for every job to go
+terminal, and (optionally) verifies each distributed result
+**bit-identical** against a direct in-process
+:func:`~repro.service.scenario.run_scenario` of the same document.  That
+per-job identity check is the service's core correctness gate: placement,
+worker processes, HTTP, checkpointing, and recovery must all be invisible
+in the results.
+
+``benchmarks/bench_service.py`` and the ``service loadgen`` CLI are thin
+wrappers over :func:`run_load`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from .scenario import Scenario, run_scenario
+
+__all__ = ["LoadReport", "run_load", "scenario_variants"]
+
+
+def scenario_variants(base: Scenario, n: int, *, prefix: str | None = None) -> list[Scenario]:
+    """``n`` submission-ready clones of ``base`` with distinct names.
+
+    Distinct names keep job directories and reports tellable-apart; the
+    *workload* is identical on purpose — each variant has a known-good
+    reference result, so any divergence is the service's fault.
+    """
+    stem = prefix if prefix is not None else base.name
+    return [replace(base, name=f"{stem}-{i:03d}") for i in range(n)]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run (JSON-safe via ``as_dict``)."""
+
+    n_submitted: int = 0
+    n_done: int = 0
+    n_failed: int = 0
+    n_exit0: int = 0
+    n_verified: int = 0
+    n_mismatched: int = 0
+    #: sum of every job's deterministic makespan — the regression metric
+    total_makespan_cycles: int = 0
+    #: how many jobs each shard executed (from final meta records)
+    jobs_per_shard: dict = field(default_factory=dict)
+    #: jobs that ran more than once (worker died mid-job and it resumed)
+    n_retried: int = 0
+    wall_s: float = 0.0
+    mismatched_ids: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.n_done == self.n_submitted
+            and self.n_failed == 0
+            and self.n_mismatched == 0
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "n_submitted": self.n_submitted,
+            "n_done": self.n_done,
+            "n_failed": self.n_failed,
+            "n_exit0": self.n_exit0,
+            "n_verified": self.n_verified,
+            "n_mismatched": self.n_mismatched,
+            "n_retried": self.n_retried,
+            "total_makespan_cycles": self.total_makespan_cycles,
+            "jobs_per_shard": dict(sorted(self.jobs_per_shard.items())),
+            "wall_s": round(self.wall_s, 3),
+            "mismatched_ids": list(self.mismatched_ids),
+            "ok": self.ok,
+        }
+
+
+def _reference_results(scenarios: list[Scenario]) -> dict[str, dict]:
+    """Direct in-process result per distinct document (keyed by its JSON).
+
+    Scenarios are deterministic, so identical documents share one
+    reference run — ``scenario_variants`` clones only differ by name, but
+    the name rides inside the document, so each still verifies its own
+    submission byte-for-byte.
+    """
+    refs: dict[str, dict] = {}
+    for sc in scenarios:
+        key = json.dumps(sc.as_dict(), sort_keys=True)
+        if key not in refs:
+            # round-trip through JSON: the service's results crossed the
+            # wire, which stringifies int dict keys — compare like for like
+            refs[key] = json.loads(json.dumps(run_scenario(sc).as_dict()))
+    return refs
+
+
+def run_load(
+    target,
+    scenarios: list[Scenario],
+    *,
+    concurrency: int = 16,
+    timeout: float = 120.0,
+    verify: bool = True,
+) -> LoadReport:
+    """Submit every scenario concurrently to ``target`` and collect results.
+
+    ``target`` is duck-typed: anything with ``submit(scenario) -> id`` plus
+    fleet-style ``store``/``wait`` (a :class:`~repro.service.fleet.Fleet`),
+    or client-style ``submit(doc)``/``wait``/``result``/``job``
+    (a :class:`~repro.service.client.ServiceClient`).
+    """
+    is_fleet = hasattr(target, "store")
+    report = LoadReport(n_submitted=len(scenarios))
+    refs = _reference_results(scenarios) if verify else {}
+
+    start = time.monotonic()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        if is_fleet:
+            futures = [pool.submit(target.submit, sc) for sc in scenarios]
+        else:
+            futures = [pool.submit(target.submit, sc.as_dict()) for sc in scenarios]
+        job_ids = [f.result() for f in futures]
+
+    remaining = timeout
+    for sc, job_id in zip(scenarios, job_ids):
+        t0 = time.monotonic()
+        if is_fleet:
+            target.store.wait_terminal([job_id], timeout=max(remaining, 0.01))
+            meta = target.store.read_meta(job_id).as_dict()
+            result_doc = target.store.read_result(job_id)
+        else:
+            meta = target.wait(job_id, timeout=max(remaining, 0.01))
+            result_doc = target.result(job_id)
+        remaining -= time.monotonic() - t0
+
+        if meta["status"] == "done":
+            report.n_done += 1
+        else:
+            report.n_failed += 1
+        if meta["attempts"] > 1:
+            report.n_retried += 1
+        shard = str(meta["shard"])
+        report.jobs_per_shard[shard] = report.jobs_per_shard.get(shard, 0) + 1
+        if result_doc is not None and result_doc.get("exit_code") == 0:
+            report.n_exit0 += 1
+        if result_doc is not None and "result" in result_doc:
+            report.total_makespan_cycles += result_doc["result"]["makespan"]
+            if verify:
+                report.n_verified += 1
+                key = json.dumps(sc.as_dict(), sort_keys=True)
+                if result_doc["result"] != refs[key]:
+                    report.n_mismatched += 1
+                    report.mismatched_ids.append(job_id)
+
+    report.wall_s = time.monotonic() - start
+    return report

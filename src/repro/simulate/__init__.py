@@ -13,7 +13,12 @@ from .engine import (
     SynchronousNetwork,
     UnreachableError,
 )
-from .vector_engine import VECTOR_MAX_NODES, vector_supported
+from .vector_engine import (
+    VECTOR_MAX_NODES,
+    VECTOR_MAX_NODES_ENV,
+    resolve_vector_max_nodes,
+    vector_supported,
+)
 from .faults import (
     DegradedResult,
     FaultEvent,
@@ -44,6 +49,8 @@ __all__ = [
     "UnreachableError",
     "ENGINES",
     "VECTOR_MAX_NODES",
+    "VECTOR_MAX_NODES_ENV",
+    "resolve_vector_max_nodes",
     "vector_supported",
     "FaultEvent",
     "FaultSchedule",

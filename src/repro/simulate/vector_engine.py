@@ -38,6 +38,7 @@ remains the reference implementation.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -47,15 +48,49 @@ from ..analysis.oracle import oracle_for
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .engine import DeliveryStats, SynchronousNetwork
 
-__all__ = ["VECTOR_MAX_NODES", "vector_supported", "vector_deliver_scheduled"]
+__all__ = [
+    "VECTOR_MAX_NODES",
+    "VECTOR_MAX_NODES_ENV",
+    "resolve_vector_max_nodes",
+    "vector_supported",
+    "vector_deliver_scheduled",
+]
 
 #: dense next-hop tables cost O(n^2) int32 each; beyond this the classic
-#: per-destination BFS tables are the better trade (and the kernel defers)
+#: per-destination BFS tables are the better trade (and the kernel defers).
+#: Large hosts can opt in anyway: pass ``vector_max_nodes=`` to
+#: :class:`~repro.simulate.engine.SynchronousNetwork` (or
+#: :class:`~repro.runtime.Runtime`), or set :data:`VECTOR_MAX_NODES_ENV`.
 VECTOR_MAX_NODES = 2048
+
+#: environment override for the dense-table bound — read per delivery, so
+#: exported once it governs every network that did not pass an explicit
+#: ``vector_max_nodes``
+VECTOR_MAX_NODES_ENV = "REPRO_VECTOR_MAX_NODES"
+
+
+def resolve_vector_max_nodes(override: int | None = None) -> int:
+    """The effective dense-table bound: explicit override > env > default."""
+    if override is not None:
+        if override < 1:
+            raise ValueError(f"vector_max_nodes must be >= 1, got {override}")
+        return override
+    raw = os.environ.get(VECTOR_MAX_NODES_ENV)
+    if raw is not None:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{VECTOR_MAX_NODES_ENV}={raw!r} is not an integer"
+            ) from None
+        if value < 1:
+            raise ValueError(f"{VECTOR_MAX_NODES_ENV} must be >= 1, got {value}")
+        return value
+    return VECTOR_MAX_NODES
 
 
 def vector_supported(network: "SynchronousNetwork", rec, faults, ttl) -> str | None:
-    """``None`` when the kernel can run this delivery, else the reason not.
+    """``None`` when the kernel can run this delivery, else *every* reason not.
 
     ``rec`` is the engine's *normalised* recorder (``None`` unless a real,
     enabled recorder is listening).  The conditions mirror the classic
@@ -63,25 +98,34 @@ def vector_supported(network: "SynchronousNetwork", rec, faults, ttl) -> str | N
     non-adaptive router routes through the engine's deterministic
     ``next_hop`` on the classic path too, so adaptivity — not the concrete
     router class — is what matters.
+
+    All blockers are reported at once (joined with ``"; "``), so a caller
+    forced onto the classic loop sees the whole distance to the fast path
+    instead of fixing preconditions one error message at a time.
     """
+    blockers = []
     if faults is not None:
-        return "a FaultSchedule is attached"
+        blockers.append("a FaultSchedule is attached")
     if ttl is not None:
-        return "a per-message TTL is set"
+        blockers.append("a per-message TTL is set")
     if rec is not None:
-        return "a recorder is listening"
+        blockers.append("a recorder is listening")
     if network.router.adaptive:
-        return "the router is adaptive"
+        blockers.append("the router is adaptive")
     if network.failed:
-        return "links are failed"
+        blockers.append("links are failed")
     if network.link_delays:
-        return "links are slowed"
-    if network.topology.n_nodes > VECTOR_MAX_NODES:
-        return (
+        blockers.append("links are slowed")
+    limit = network.vector_max_nodes
+    if network.topology.n_nodes > limit:
+        blockers.append(
             f"topology has {network.topology.n_nodes} nodes "
-            f"(> VECTOR_MAX_NODES = {VECTOR_MAX_NODES})"
+            f"(> VECTOR_MAX_NODES = {limit}; raise via "
+            f"SynchronousNetwork(vector_max_nodes=) or ${VECTOR_MAX_NODES_ENV})"
         )
-    return None
+    if not blockers:
+        return None
+    return "; ".join(blockers)
 
 
 def _index_of(network: "SynchronousNetwork") -> dict:

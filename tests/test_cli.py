@@ -82,3 +82,85 @@ class TestParser:
     def test_unknown_family_rejected(self):
         with pytest.raises(SystemExit):
             main(["embed", "--family", "nope"])
+
+
+class TestRuntimeExitCodes:
+    """PR-7 satellite: `runtime` exits exactly like `simulate` — 0 only
+    when every job finished with every message delivered, 1 for degraded
+    or incomplete runs and for RepairError."""
+
+    def config(self, tmp_path, jobs, **extra):
+        import json
+
+        doc = {"host": {"name": "xtree", "args": [4]}, "jobs": jobs}
+        doc.update(extra)
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def faults(self, tmp_path, events):
+        import json
+
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps({"events": events}))
+        return str(path)
+
+    def test_complete_run_exits_0(self, tmp_path, capsys):
+        cfg = self.config(tmp_path, [
+            {"name": "a", "program": "reduction", "tree_n": 15,
+             "capacity": 4, "height": 4},
+        ])
+        assert main(["runtime", cfg]) == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_budget_exhausted_exits_1_and_names_job(self, tmp_path, capsys):
+        cfg = self.config(tmp_path, [
+            {"name": "starved", "program": "prefix_sum", "tree_n": 15,
+             "capacity": 4, "height": 4, "cycle_budget": 3},
+        ])
+        assert main(["runtime", cfg]) == 1
+        err = capsys.readouterr().err
+        assert "incomplete job 'starved'" in err
+        assert "budget_exhausted" in err
+
+    def test_repair_error_exits_1(self, tmp_path, capsys):
+        cfg = self.config(tmp_path, [
+            {"name": "a", "program": "prefix_sum", "tree_n": 12,
+             "capacity": 4, "height": 4},
+        ], max_load=5)
+        flt = self.faults(tmp_path, [
+            {"cycle": 1 + 3 * i, "action": "fail_node", "u": [4, i]}
+            for i in range(8)
+        ])
+        assert main(["runtime", cfg, "--faults", flt]) == 1
+        assert "online repair failed" in capsys.readouterr().err
+
+    def test_degraded_faulted_run_exits_1_with_report(self, tmp_path, capsys):
+        # dead links (no repair for link faults) terminally drop messages
+        import json
+
+        cfg = tmp_path / "jobs.json"
+        cfg.write_text(json.dumps({
+            "host": {"name": "xtree", "args": [3]},
+            "jobs": [{"name": "a", "program": "neighbor_exchange",
+                      "tree_n": 15, "capacity": 4, "height": 3}],
+        }))
+        cfg = str(cfg)
+        flt = self.faults(tmp_path, [
+            {"cycle": 2, "action": "fail_link", "u": [2, 0], "v": [3, 0]},
+            {"cycle": 2, "action": "fail_link", "u": [3, 0], "v": [3, 1]},
+        ])
+        assert main(["runtime", cfg, "--faults", flt]) == 1
+        err = capsys.readouterr().err
+        assert "incomplete job 'a'" in err and "failed messages" in err
+
+    def test_checkpoint_resume_keeps_exit_code(self, tmp_path, capsys):
+        cfg = self.config(tmp_path, [
+            {"name": "a", "program": "reduction", "tree_n": 15,
+             "capacity": 4, "height": 4},
+        ])
+        ckpt = tmp_path / "c.json"
+        assert main(["runtime", cfg, "--checkpoint", str(ckpt)]) == 0
+        # resume from the finished checkpoint: still complete, still 0
+        assert main(["runtime", cfg, "--checkpoint", str(ckpt)]) == 0
+        assert "resumed from" in capsys.readouterr().out

@@ -361,3 +361,147 @@ class TestCheckpointRestore:
                 break
         restored = Runtime.restore(json.loads(json.dumps(rt.checkpoint())))
         assert restored.run().as_dict() == full
+
+
+class TestBatchFallbackObservability:
+    """PR-7 satellite: ``step_batch`` falling back to per-job stepping is
+    no longer silent — every fallback lands in a named counter and, when
+    a recorder listens, a ``batch_fallback`` trace event."""
+
+    def test_faults_reason_counted(self):
+        rt = two_job_runtime(faults=NODE_FAULT)
+        rt.step_batch()
+        assert rt.counters["batch_fallback.faults"] == 1
+
+    def test_multiple_reasons_counted_separately(self):
+        rt = two_job_runtime(faults=NODE_FAULT, recorder=TraceRecorder(),
+                             router=AdaptiveRouter())
+        rt.step_batch()
+        for reason in ("faults", "recorder", "adaptive_router"):
+            assert rt.counters[f"batch_fallback.{reason}"] == 1
+        assert "batch_fallback.ttl" not in rt.counters
+
+    def test_ttl_reason_counted(self):
+        rt = Runtime(XTree(4))
+        rt.admit(JobSpec(name="a", program="reduction", tree_n=15,
+                         capacity=4, height=4, ttl=60))
+        rt.admit(JobSpec(name="b", program="prefix_sum", tree_n=12,
+                         capacity=4, height=4))
+        rt.step_batch()
+        assert rt.counters["batch_fallback.ttl"] == 1
+
+    def test_single_job_reason_counted(self):
+        rt = Runtime(XTree(4))
+        rt.admit(JobSpec(name="solo", program="reduction", tree_n=15,
+                         capacity=4, height=4))
+        rt.step_batch()
+        assert rt.counters["batch_fallback.single_job"] == 1
+
+    def test_link_overlap_reason_counted(self):
+        # two copies of the same spec embed identically, so their routes
+        # collide on every superstep: no link-disjoint round exists
+        rt = Runtime(XTree(4))
+        for name in ("a", "b"):
+            rt.admit(JobSpec(name=name, program="reduction", tree_n=15,
+                             capacity=4, height=4))
+        rt.step_batch()
+        assert rt.counters["batch_fallback.link_overlap"] == 1
+
+    def test_merged_round_counts_nothing(self):
+        rt = two_job_runtime()
+        ran = rt.step_batch()
+        if len(ran) >= 2:  # genuinely merged
+            assert not any(k.startswith("batch_fallback") for k in rt.counters)
+
+    def test_trace_event_emitted_with_reasons(self):
+        rec = TraceRecorder()
+        rt = two_job_runtime(faults=NODE_FAULT, recorder=rec)
+        rt.step_batch()
+        events = [e for e in rec.events if e.kind == "batch_fallback"]
+        assert len(events) == 1
+        assert "faults" in events[0].detail and "recorder" in events[0].detail
+        assert "n_active=2" in events[0].detail
+        assert rec.summary()["batch_fallbacks"] == 1
+
+    def test_counters_reach_result_and_checkpoint(self):
+        rt = two_job_runtime(faults=NODE_FAULT)
+        res = rt.run(batch=True)
+        assert res.counters["batch_fallback.faults"] >= 1
+        assert res.as_dict()["counters"] == res.counters
+
+    def test_counters_survive_restore_bit_identical(self):
+        make = lambda: two_job_runtime(faults=NODE_FAULT)
+        full = make().run(batch=True).as_dict()
+        rt = make()
+        for _ in range(5):
+            rt.step_batch()
+        resumed = Runtime.restore(json.loads(json.dumps(rt.checkpoint())))
+        assert resumed.counters == rt.counters
+        assert resumed.run(batch=True).as_dict() == full
+
+
+class TestCheckpointFaultBoundary:
+    """PR-7 satellite audit: fault events falling exactly on a checkpoint
+    cut are applied exactly once — never lost, never double-applied."""
+
+    FAULTS = FaultSchedule([
+        FaultEvent(cycle=0, action="fail_node", u=(4, 5)),
+        FaultEvent(cycle=1, action="fail_node", u=(2, 1)),
+        FaultEvent(cycle=3, action="delay_link", u=(1, 0), v=(2, 0), delay=2),
+        FaultEvent(cycle=6, action="heal_link", u=(1, 0), v=(2, 0)),
+        FaultEvent(cycle=9, action="fail_link", u=(3, 1), v=(3, 2)),
+        FaultEvent(cycle=14, action="heal_link", u=(3, 1), v=(3, 2)),
+        FaultEvent(cycle=20, action="heal_node", u=(2, 1)),
+    ])
+
+    def make(self):
+        return two_job_runtime(faults=self.FAULTS)
+
+    def test_every_cut_applies_each_event_exactly_once(self):
+        full_rt = self.make()
+        full = full_rt.run().as_dict()
+        full_applied = [e.as_dict() for e in full_rt.applied_events]
+        # cut after every superstep of the whole run
+        n_steps = 0
+        probe = self.make()
+        while probe.step() is not None:
+            n_steps += 1
+        for cut in range(n_steps + 1):
+            rt = self.make()
+            for _ in range(cut):
+                rt.step()
+            state = json.loads(json.dumps(rt.checkpoint()))
+            resumed = Runtime.restore(state)
+            # restore replays applied events verbatim, in order
+            assert [e.as_dict() for e in resumed.applied_events] == [
+                e.as_dict() for e in rt.applied_events
+            ], f"cut={cut}"
+            # network fault state carries over exactly
+            assert resumed.network.failed == rt.network.failed, f"cut={cut}"
+            assert resumed.network.link_delays == rt.network.link_delays, f"cut={cut}"
+            while resumed.step() is not None:
+                pass
+            assert resumed.result().as_dict() == full, f"cut={cut}"
+            assert [e.as_dict() for e in resumed.applied_events] == full_applied, (
+                f"cut={cut}: events lost or double-applied across the cut"
+            )
+
+    def test_no_event_applied_twice(self):
+        rt = self.make()
+        for _ in range(4):
+            rt.step()
+        resumed = Runtime.restore(json.loads(json.dumps(rt.checkpoint())))
+        while resumed.step() is not None:
+            pass
+        seen = [e.as_dict() for e in resumed.applied_events]
+        assert len(seen) == len({json.dumps(d, sort_keys=True) for d in seen})
+
+    def test_double_restore_is_stable(self):
+        # checkpoint -> restore -> checkpoint immediately: the second
+        # checkpoint must equal the first (restore is a fixed point)
+        rt = self.make()
+        for _ in range(6):
+            rt.step()
+        state = json.loads(json.dumps(rt.checkpoint()))
+        again = json.loads(json.dumps(Runtime.restore(state).checkpoint()))
+        assert again == state

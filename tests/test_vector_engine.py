@@ -352,3 +352,113 @@ class TestRuntimeBatching:
         )
         assert len(rt.step_batch()) == 1
         assert rt.step_batch() != [] or rt.active_jobs() == []
+
+
+class TestBlockerAggregation:
+    """PR-7 satellite: ``vector_supported`` reports *every* blocker at
+    once, and the dense-table bound is overridable per network or via
+    the environment."""
+
+    def _msg(self, topology):
+        a, b = list(topology.nodes())[:2]
+        return [(0, Message(0, a, b))]
+
+    def test_all_blockers_reported_together(self):
+        from repro.simulate.vector_engine import vector_supported
+
+        topology = TOPOS["xtree"]
+        nodes = list(topology.nodes())
+        u, v = nodes[0], next(iter(topology.neighbors(nodes[0])))
+        net = SynchronousNetwork(
+            topology, router="adaptive", failed_links=[(u, v)],
+            vector_max_nodes=1,
+        )
+        net.link_delays[(u, v)] = 2
+        reason = vector_supported(
+            net, TraceRecorder(), FaultSchedule.from_obj([]), 50
+        )
+        for needle in ("FaultSchedule", "TTL", "recorder", "adaptive",
+                       "failed", "slowed", "VECTOR_MAX_NODES"):
+            assert needle in reason, f"missing blocker {needle!r} in: {reason}"
+        # all seven independent blockers are joined, not just the first
+        assert reason.count(";") >= 6, reason
+
+    def test_supported_when_clean(self):
+        from repro.simulate.vector_engine import vector_supported
+
+        net = SynchronousNetwork(TOPOS["xtree"])
+        assert vector_supported(net, None, None, None) is None
+
+    def test_vector_error_lists_every_blocker(self):
+        topology = TOPOS["xtree"]
+        net = SynchronousNetwork(topology, router="adaptive")
+        with pytest.raises(ValueError, match="adaptive.*recorder|recorder.*adaptive"):
+            net.deliver_scheduled(
+                self._msg(topology), recorder=TraceRecorder(), engine="vector"
+            )
+
+    def test_constructor_override_raises_bound(self):
+        # bound of 1 blocks the 11-node X(2); an explicit override unblocks
+        topology = TOPOS["xtree"]
+        blocked = SynchronousNetwork(topology, vector_max_nodes=1)
+        with pytest.raises(ValueError, match="VECTOR_MAX_NODES = 1"):
+            blocked.deliver_scheduled(self._msg(topology), engine="vector")
+        allowed = SynchronousNetwork(
+            topology, vector_max_nodes=topology.n_nodes
+        )
+        stats = allowed.deliver_scheduled(self._msg(topology), engine="vector")
+        assert stats.n_messages == 1
+
+    def test_constructor_override_validated_eagerly(self):
+        with pytest.raises(ValueError, match="vector_max_nodes"):
+            SynchronousNetwork(TOPOS["xtree"], vector_max_nodes=0)
+
+    def test_env_override(self, monkeypatch):
+        from repro.simulate.vector_engine import VECTOR_MAX_NODES_ENV
+
+        topology = TOPOS["xtree"]
+        monkeypatch.setenv(VECTOR_MAX_NODES_ENV, "1")
+        net = SynchronousNetwork(topology)
+        with pytest.raises(ValueError, match="VECTOR_MAX_NODES = 1"):
+            net.deliver_scheduled(self._msg(topology), engine="vector")
+        # auto still falls back and matches classic
+        stats = net.deliver_scheduled(self._msg(topology))
+        assert stats.n_messages == 1
+        monkeypatch.setenv(VECTOR_MAX_NODES_ENV, str(topology.n_nodes))
+        assert net.deliver_scheduled(self._msg(topology), engine="vector").n_messages == 1
+
+    def test_env_invalid_rejected(self, monkeypatch):
+        from repro.simulate.vector_engine import (
+            VECTOR_MAX_NODES_ENV,
+            resolve_vector_max_nodes,
+        )
+
+        monkeypatch.setenv(VECTOR_MAX_NODES_ENV, "many")
+        with pytest.raises(ValueError, match="not an integer"):
+            resolve_vector_max_nodes()
+        monkeypatch.setenv(VECTOR_MAX_NODES_ENV, "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_vector_max_nodes()
+
+    def test_resolution_precedence(self, monkeypatch):
+        from repro.simulate.vector_engine import (
+            VECTOR_MAX_NODES_ENV,
+            resolve_vector_max_nodes,
+        )
+
+        assert resolve_vector_max_nodes() == 2048
+        monkeypatch.setenv(VECTOR_MAX_NODES_ENV, "77")
+        assert resolve_vector_max_nodes() == 77
+        assert resolve_vector_max_nodes(5) == 5  # explicit beats env
+
+    def test_runtime_threads_override_through_checkpoint(self):
+        # Runtime(vector_max_nodes=) reaches the network, survives a
+        # checkpoint/restore round trip, and stays bit-identical
+        rt = Runtime(XTree(4), vector_max_nodes=9999)
+        rt.admit(JobSpec(name="a", program="reduction", tree_n=15,
+                         capacity=4, height=4))
+        assert rt.network.vector_max_nodes == 9999
+        state = rt.checkpoint()
+        assert state["vector_max_nodes"] == 9999
+        restored = Runtime.restore(state)
+        assert restored.network.vector_max_nodes == 9999
