@@ -115,7 +115,7 @@ def bench_concurrent_load(root: Path, n: int, shards: int) -> dict:
 def bench_killed_worker_recovery(root: Path) -> dict:
     """SIGKILL mid-job; the resumed job must match the uninterrupted run."""
     sc = Scenario.from_json(REPO / "scenarios" / "long_run.json")
-    ref = json.loads(json.dumps(run_scenario(sc).as_dict()))
+    ref = run_scenario(sc).as_dict()
     fleet = Fleet(root / "recover", n_shards=2)
     fleet.start()
     try:

@@ -24,6 +24,14 @@ Subcommands
             exists and rewrites it as the run progresses — kill the
             process at any point and re-run the same command to continue
             bit-identically.
+``tune``    search a parametric policy template (``repro.policy.tune``)
+            against scenario workloads and write the winning
+            decision-tree document plus a reproducible tuning log.
+
+``simulate``, ``runtime``, and ``service run`` all take ``--policy FILE``
+pointing at a ``repro.policy`` decision-tree document (e.g. one written
+by ``tune``); its ``domain`` decides whether it replaces the router
+(``routing``) or the scheduler (``scheduling``).
 """
 
 from __future__ import annotations
@@ -104,8 +112,38 @@ def _cmd_verify(args) -> int:
     return 0 if all(r.passed for r in reports) else 1
 
 
+def _load_policy_doc(path):
+    """Load + validate one policy document, or print the error and return
+    None (callers turn that into exit 1)."""
+    from .policy import PolicyDoc
+
+    try:
+        return PolicyDoc.from_json(path)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: bad policy document {path}: {exc}", file=sys.stderr)
+        return None
+
+
 def _cmd_simulate(args) -> int:
     from .obs import NullRecorder, TraceRecorder
+
+    router = args.router
+    router_label = args.router
+    if args.policy:
+        doc = _load_policy_doc(args.policy)
+        if doc is None:
+            return 1
+        if doc.domain != "routing":
+            print(
+                f"error: policy document {doc.name!r} has domain "
+                f"{doc.domain!r}; `simulate` runs a single program, so only "
+                "routing-domain documents apply (use `runtime` for "
+                "scheduling policies)",
+                file=sys.stderr,
+            )
+            return 1
+        router = doc.as_dict()
+        router_label = f"tree:{doc.name}"
 
     n, tree = _make_tree(args)
     result = theorem1_embedding(tree)
@@ -132,7 +170,7 @@ def _cmd_simulate(args) -> int:
             result.embedding,
             link_capacity=args.link_capacity,
             recorder=recorder,
-            router=args.router,
+            router=router,
             faults=faults,
             ttl=args.ttl,
             engine=args.engine,
@@ -151,7 +189,7 @@ def _cmd_simulate(args) -> int:
         )
     print(
         f"guest: {args.family} tree, n={n}; host: X({args.height}); "
-        f"link capacity {args.link_capacity}; router {args.router}; "
+        f"link capacity {args.link_capacity}; router {router_label}; "
         f"engine {args.engine}"
         + (f"; faults {args.faults}" if args.faults else "")
         + (f"; ttl {args.ttl}" if args.ttl is not None else "")
@@ -216,15 +254,26 @@ def _cmd_runtime(args) -> int:
                 print(f"error: cannot load fault schedule {args.faults}: {exc}",
                       file=sys.stderr)
                 return 1
+        router_spec = config.get("router")
+        policy_spec = config.get("policy")
+        if args.policy:
+            doc = _load_policy_doc(args.policy)
+            if doc is None:
+                return 1
+            # the document's domain says which knob it replaces
+            if doc.domain == "routing":
+                router_spec = doc.as_dict()
+            else:
+                policy_spec = doc.as_dict()
         try:
             host_spec = config["host"]
             host = TOPOLOGIES[host_spec["name"]](*host_spec.get("args", []))
             rt = Runtime(
                 host,
-                router=config.get("router"),
+                router=router_spec,
                 faults=faults,
                 recorder=recorder,
-                policy=config.get("policy"),
+                policy=policy_spec,
                 max_load=config.get("max_load", 16),
                 link_capacity=config.get("link_capacity", 1),
                 engine=args.engine,
@@ -285,6 +334,52 @@ def _cmd_runtime(args) -> int:
     return 0 if res.complete else 1
 
 
+def _cmd_tune(args) -> int:
+    from .policy import tune
+    from .service import Scenario
+
+    try:
+        scenarios = [Scenario.from_json(p) for p in args.scenario]
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: bad scenario: {exc}", file=sys.stderr)
+        return 1
+    try:
+        result = tune(
+            args.template,
+            scenarios,
+            method=args.method,
+            budget=args.budget,
+            seed=args.seed,
+            log_path=args.log,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    log = result.log
+    print(
+        f"tuned {args.template!r} ({args.method}, budget {args.budget}, "
+        f"seed {args.seed}) over {', '.join(log['scenarios'])}"
+    )
+    rows = [
+        [name, b["total"]] for name, b in sorted(log["baselines"].items())
+    ]
+    rows.append([f"tree:{result.doc.name} (tuned)", result.objective])
+    print(markdown_table(["policy", "total makespan (cycles)"], rows))
+    best_baseline = min(b["total"] for b in log["baselines"].values())
+    if result.objective < best_baseline:
+        print(f"tuned document beats every baseline by "
+              f"{best_baseline - result.objective} cycles")
+    else:
+        print("tuned document does not beat the best baseline "
+              "(try a larger --budget)")
+    if args.log:
+        print(f"wrote tuning log: {args.log}")
+    if args.out:
+        result.doc.to_json(args.out)
+        print(f"wrote policy document: {args.out}")
+    return 0
+
+
 def _cmd_service_serve(args) -> int:
     from .service.api import serve
 
@@ -302,6 +397,13 @@ def _cmd_service_run(args) -> int:
     except (OSError, ValueError, KeyError, TypeError) as exc:
         print(f"error: bad scenario {args.scenario}: {exc}", file=sys.stderr)
         return 1
+    if args.policy:
+        from .policy import apply_policy
+
+        doc = _load_policy_doc(args.policy)
+        if doc is None:
+            return 1
+        scenario = apply_policy(scenario, doc)
     res = run_scenario(scenario, checkpoint_path=args.checkpoint)
     if args.json:
         print(json.dumps(res.as_dict(), indent=2))
@@ -493,6 +595,9 @@ def main(argv: list[str] | None = None) -> int:
                             "('ttl' in the fault report) instead of waiting forever")
     p_sim.add_argument("--metrics", action="store_true",
                        help="print per-cycle metrics, timing spans and counters")
+    p_sim.add_argument("--policy", metavar="FILE",
+                       help="routing-domain policy document (repro.policy JSON, "
+                            "e.g. written by `tune`); overrides --router")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_rt = sub.add_parser(
@@ -527,7 +632,37 @@ def main(argv: list[str] | None = None) -> int:
                       help="record every superstep and write a JSONL trace")
     p_rt.add_argument("--metrics", action="store_true",
                       help="print per-cycle metrics, timing spans and counters")
+    p_rt.add_argument("--policy", metavar="FILE",
+                      help="policy document (repro.policy JSON): its domain decides "
+                           "whether it replaces the config's router (routing) or "
+                           "scheduler (scheduling); ignored when resuming from a "
+                           "checkpoint, which already carries its policies")
     p_rt.set_defaults(func=_cmd_runtime)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="search a policy template against scenarios (repro.policy.tune)",
+    )
+    from .policy.tune import TEMPLATES as _TEMPLATES
+
+    p_tune.add_argument("template", choices=sorted(_TEMPLATES),
+                        help="parametric policy template to search")
+    p_tune.add_argument("--scenario", action="append", required=True,
+                        metavar="PATH",
+                        help="scenario JSON the objective sums over (repeatable)")
+    p_tune.add_argument("--method", choices=("grid", "random", "cem"),
+                        default="random", help="search method (default random)")
+    p_tune.add_argument("--budget", type=int, default=16,
+                        help="candidate evaluations (default 16)")
+    p_tune.add_argument("--seed", type=int, default=0,
+                        help="search seed; a fixed (template, scenarios, method, "
+                             "budget, seed) tuple reproduces the sweep exactly")
+    p_tune.add_argument("--out", metavar="FILE",
+                        help="write the winning policy document here")
+    p_tune.add_argument("--log", metavar="FILE",
+                        help="write the full tuning log (every candidate + "
+                             "objective, baselines, winner) here")
+    p_tune.set_defaults(func=_cmd_tune)
 
     p_svc = sub.add_parser(
         "service",
@@ -549,6 +684,9 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--checkpoint", metavar="PATH",
                        help="resume from PATH if it exists; keep it updated while running")
     p_run.add_argument("--json", action="store_true", help="print the result as JSON")
+    p_run.add_argument("--policy", metavar="FILE",
+                       help="policy document applied over the scenario by domain "
+                            "(router for routing, scheduler for scheduling)")
     p_run.set_defaults(func=_cmd_service_run)
 
     p_submit = svc_sub.add_parser("submit", help="submit a scenario to a running service")

@@ -78,14 +78,32 @@ class RuntimeResult:
         return all(j["status"] == "done" and not j["failed"] for j in self.jobs)
 
     def as_dict(self) -> dict:
-        """JSON-safe form; checkpoint/restore bit-identity compares these."""
+        """Canonical JSON-safe form; bit-identity checks compare these.
+
+        *Canonical* means a JSON round-trip is the identity:
+        ``json.loads(json.dumps(d)) == d``.  JSON object keys are strings,
+        so the jobs' int-keyed per-message maps are stringified (and
+        numerically sorted, for byte-stable dumps) **here, once, at the
+        serialisation boundary** — an in-process result therefore compares
+        equal to the same result read back off the service's wire, and no
+        caller needs the old "compare after a JSON round-trip" workaround.
+        Gated by a fixed-point test in ``tests/test_runtime.py``.
+        """
+        jobs = []
+        for j in self.jobs:
+            j = dict(j)
+            j["delivered"] = {
+                str(m): c for m, c in sorted(j["delivered"].items())
+            }
+            j["failed"] = {str(m): r for m, r in sorted(j["failed"].items())}
+            jobs.append(j)
         return {
             "makespan": self.makespan,
             "policy": self.policy,
             "n_repairs": self.n_repairs,
             "n_migrated": self.n_migrated,
             "counters": dict(self.counters),
-            "jobs": [dict(j) for j in self.jobs],
+            "jobs": jobs,
         }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -115,21 +133,14 @@ def _host_spec(host) -> dict:
     return {"name": host.name, "args": args}
 
 
-def _router_spec(router: Router) -> dict:
-    if isinstance(router, AdaptiveRouter):
-        return {
-            "name": "adaptive",
-            "params": {
-                "ewma_alpha": router.ewma_alpha,
-                "queue_weight": router.queue_weight,
-                "detour_budget": router.detour_budget,
-                "detour_margin": router.detour_margin,
-                "hysteresis": router.hysteresis,
-                "seed": router.seed,
-            },
-            "state": router.state(),
-        }
-    return {"name": "deterministic", "params": {}, "state": None}
+def _policy_spec(policy: SchedulerPolicy) -> "str | dict":
+    """Checkpoint form of the scheduling policy: a registry name for the
+    built-ins, the full (self-describing) policy document for tree
+    policies."""
+    doc = getattr(policy, "doc", None)
+    if doc is not None:
+        return doc.as_dict()
+    return policy.name
 
 
 def _replay_event(network: SynchronousNetwork, ev: FaultEvent) -> None:
@@ -176,6 +187,7 @@ class Runtime:
         self.faults = faults
         self.recorder = recorder
         self.policy = make_policy(policy)
+        self.policy.bind_runtime(self)
         self.max_load = max_load
         self.link_capacity = link_capacity
         self.engine = engine
@@ -342,6 +354,10 @@ class Runtime:
             for m in messages:
                 owner.append((job, m.msg_id))
                 merged.append(Message(len(merged), m.src, m.dst))
+        # fair-share weights snapshotted before the merged delivery drains
+        # backlogs — the same pre-superstep pricing as _run_superstep, so
+        # batched and solo runs accrue bit-identical virtual time
+        weights = {id(job): job.fair_weight() for job, _m, _k in picked}
         stats = self.network.deliver(merged)
         base = self.cycle
         per_job_last: dict[int, int] = {}
@@ -357,6 +373,7 @@ class Runtime:
             round_cycles = max(round_cycles, job_cycles)
             job.msg_seq += len(messages)
             job.consumed_cycles += job_cycles
+            job.virtual_time += job_cycles / weights[id(job)]
             job.next_step = k + 1
             job.per_step_cycles.append(job.consumed_cycles)
             if job.next_step >= job.program.n_supersteps:
@@ -506,6 +523,12 @@ class Runtime:
 
     def _run_superstep(self, job: Job) -> None:
         k = job.next_step
+        # fair-share accounting: snapshot the weight *before* the delivery
+        # drains the backlog, so this superstep's cycles (including any
+        # migration traffic it triggers) are priced at the weight they
+        # actually ran under — that is what keeps virtual time monotone
+        weight = job.fair_weight()
+        consumed_before = job.consumed_cycles
         # proactive repair: a node death between this job's supersteps
         # strands its images before any message is even injected
         if self.dead_nodes and self._dead_images(job):
@@ -528,6 +551,7 @@ class Runtime:
             stranded = self._collect_failures(job, stats)
             if stranded:
                 self._migrate(job, stranded)
+        job.virtual_time += (job.consumed_cycles - consumed_before) / weight
         job.next_step = k + 1
         job.per_step_cycles.append(job.consumed_cycles)
         if job.next_step >= job.program.n_supersteps:
@@ -556,9 +580,9 @@ class Runtime:
             "engine": self.engine,
             "vector_max_nodes": self.vector_max_nodes,
             "counters": dict(sorted(self.counters.items())),
-            "policy": self.policy.name,
+            "policy": _policy_spec(self.policy),
             "host": _host_spec(self.host),
-            "router": _router_spec(self.network.router),
+            "router": self.network.router.spec(),
             "faults": (
                 None
                 if self.faults is None
@@ -593,8 +617,15 @@ class Runtime:
             raise ValueError(f"unknown host topology {spec['name']!r}") from None
         host = topo_cls(*spec["args"])
         rspec = state["router"]
-        if rspec["name"] == "adaptive":
-            router: Router = AdaptiveRouter(**rspec["params"])
+        if rspec["name"] == "tree":
+            from ..policy import PolicyDoc
+            from ..policy.route import TreeRouter
+
+            router: Router = TreeRouter(
+                PolicyDoc.from_obj(rspec["doc"]), **rspec["params"]
+            )
+        elif rspec["name"] == "adaptive":
+            router = AdaptiveRouter(**rspec["params"])
         else:
             router = make_router(rspec["name"])
         faults = (

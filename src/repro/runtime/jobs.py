@@ -141,6 +141,11 @@ class Job:
         self.next_step = 0
         self.msg_seq = 0
         self.consumed_cycles = 0
+        #: fair-share virtual time, accrued *incrementally* by the runtime:
+        #: each superstep charges ``cycles / fair_weight()`` at the weight
+        #: the superstep started with, so the accumulator is monotone and a
+        #: draining backlog can never retroactively re-price history
+        self.virtual_time = 0.0
         self.per_step_cycles: list[int] = []
         #: job-local msg id -> global delivery cycle
         self.delivered: dict[int, int] = {}
@@ -170,6 +175,15 @@ class Job:
     def remaining_steps(self) -> int:
         return self.program.n_supersteps - self.next_step
 
+    def fair_weight(self) -> int:
+        """The fair-share weight *right now*: ``priority * max(1, backlog)``.
+
+        The runtime snapshots this before running a superstep and charges
+        the superstep's cycles against it, so each slice of history is
+        priced at the weight it actually ran under.
+        """
+        return self.spec.priority * max(1, self.backlog)
+
     def over_budget(self) -> bool:
         return (
             self.spec.cycle_budget is not None
@@ -187,6 +201,7 @@ class Job:
             "next_step": self.next_step,
             "msg_seq": self.msg_seq,
             "consumed_cycles": self.consumed_cycles,
+            "virtual_time": self.virtual_time,
             "per_step_cycles": list(self.per_step_cycles),
             "delivered": [[m, c] for m, c in sorted(self.delivered.items())],
             "failed": [[m, r] for m, r in sorted(self.failed.items())],
@@ -207,6 +222,9 @@ class Job:
         job.next_step = state["next_step"]
         job.msg_seq = state["msg_seq"]
         job.consumed_cycles = state["consumed_cycles"]
+        # float round-trips JSON exactly (repr), so restored picks are
+        # bit-identical; .get() keeps pre-virtual-time checkpoints readable
+        job.virtual_time = state.get("virtual_time", 0.0)
         job.per_step_cycles = list(state["per_step_cycles"])
         job.delivered = {m: c for m, c in state["delivered"]}
         job.failed = {m: r for m, r in state["failed"]}
@@ -219,13 +237,23 @@ class Job:
     # -- reporting ------------------------------------------------------
     def report(self) -> dict:
         """Stable summary of this job's outcome (bit-identity checks
-        compare these across checkpoint/restore)."""
+        compare these across checkpoint/restore).
+
+        The per-message maps keep their int keys here: a report is an
+        in-process structure, and stringifying thousands of message ids
+        costs real milliseconds (the single-job overhead gate in
+        ``bench_runtime`` times exactly this path).  The *canonical wire
+        form* — string keys, numerically sorted, JSON-round-trip-stable —
+        is produced exactly once, at the serialisation boundary, by
+        :meth:`repro.runtime.RuntimeResult.as_dict`.
+        """
         return {
             "name": self.spec.name,
             "status": self.status,
             "supersteps_run": self.next_step,
             "n_supersteps": self.program.n_supersteps,
             "consumed_cycles": self.consumed_cycles,
+            "virtual_time": self.virtual_time,
             "per_step_cycles": list(self.per_step_cycles),
             "n_messages": self.total_messages,
             "n_delivered": len(self.delivered),

@@ -9,8 +9,13 @@ Determinism matters more than sophistication here: given the same admitted
 jobs and the same per-superstep cycle costs, a policy must make the same
 sequence of picks — it is part of the state a checkpoint must reproduce.
 Both built-in policies are pure functions of the jobs' own counters
-(``consumed_cycles``, ``backlog``, admission order), so they need no
+(``virtual_time``, ``backlog``, admission order), so they need no
 serialised state of their own.
+
+Beyond the two built-ins, a policy can be a declarative decision tree
+(:mod:`repro.policy`): :func:`make_policy` accepts a parsed policy
+document (dict) wherever a name is accepted, and the ``"tree"`` registry
+entry is populated on ``import repro.policy``.
 """
 
 from __future__ import annotations
@@ -24,6 +29,16 @@ class SchedulerPolicy:
     """Pick the next job to run one superstep."""
 
     name = "?"
+
+    def bind_runtime(self, runtime) -> "SchedulerPolicy":
+        """Attach the runtime whose jobs this policy schedules.
+
+        The built-ins are pure functions of the jobs themselves and ignore
+        the hook; policies that condition on runtime-wide state (the
+        global clock, fault state — see
+        :class:`repro.policy.sched.TreeSchedulerPolicy`) override it.
+        """
+        return self
 
     def pick(self, active: list[Job]) -> Job:
         """Return one of ``active`` (never empty, admission order)."""
@@ -49,9 +64,12 @@ class FifoPolicy(SchedulerPolicy):
 class FairSharePolicy(SchedulerPolicy):
     """Weighted fair sharing of host cycles, backlog-aware.
 
-    Each job accrues *virtual time* ``consumed_cycles / weight`` with
-    ``weight = priority * backlog``: the scheduler always runs the job
-    with the least virtual time (ties break towards admission order).
+    Each job carries a *virtual time* accumulator that the runtime accrues
+    **incrementally**: every superstep charges ``cycles / weight`` at the
+    weight the superstep *started* with, where ``weight = priority *
+    max(1, backlog)`` (see :meth:`repro.runtime.jobs.Job.fair_weight` and
+    ``Runtime._run_superstep``).  The scheduler always runs the job with
+    the least accrued virtual time (ties break towards admission order).
     ``backlog`` is the job's queued-message count as the engine reports
     it — every superstep's :class:`~repro.simulate.engine.DeliveryStats`
     drains delivered and failed messages out of it — so a job with more
@@ -59,6 +77,16 @@ class FairSharePolicy(SchedulerPolicy):
     job's share decays instead of starving latecomers.  With equal
     priorities and equal backlogs this degenerates to round-robin by
     cycles consumed; priorities scale a job's share linearly.
+
+    Incremental accrual is what makes virtual time *monotone*.  The
+    original implementation divided the job's lifetime ``consumed_cycles``
+    by its **current** weight at every pick, retroactively re-weighting
+    the entire history as the backlog drained: a job that had cheaply
+    consumed cycles while loaded saw its virtual time leapfrog past its
+    competitors' the moment it neared completion, and was starved at the
+    finish line (regression-tested in ``tests/test_runtime.py``).  The
+    accumulator is checkpointed (``Job.state()["virtual_time"]``) so a
+    restored runtime picks bit-identically.
     """
 
     name = "fair"
@@ -67,19 +95,23 @@ class FairSharePolicy(SchedulerPolicy):
         best = None
         best_key: tuple[float, int] | None = None
         for order, job in enumerate(active):
-            weight = job.spec.priority * max(1, job.backlog)
-            key = (job.consumed_cycles / weight, order)
+            key = (job.virtual_time, order)
             if best_key is None or key < best_key:
                 best, best_key = job, key
         return best
 
 
-#: CLI / config names for the built-in policies
+#: CLI / config names for the built-in policies.  ``"tree"`` (the
+#: declarative decision-tree policy) registers itself on
+#: ``import repro.policy`` — it cannot be built from a bare name because
+#: it needs a policy document.
 POLICIES = {"fifo": FifoPolicy, "fair": FairSharePolicy}
 
 
-def make_policy(spec: "SchedulerPolicy | str | None") -> SchedulerPolicy:
-    """Resolve ``None`` / a registry name / a ready instance to a policy."""
+def make_policy(spec: "SchedulerPolicy | str | dict | None") -> SchedulerPolicy:
+    """Resolve ``None`` / a registry name / a ready instance / a policy
+    document (a parsed dict or :class:`repro.policy.PolicyDoc` with
+    ``domain == "scheduling"``) to a policy."""
     if spec is None:
         return FifoPolicy()
     if isinstance(spec, SchedulerPolicy):
@@ -91,6 +123,20 @@ def make_policy(spec: "SchedulerPolicy | str | None") -> SchedulerPolicy:
             raise ValueError(
                 f"unknown scheduling policy {spec!r}: expected one of {sorted(POLICIES)}"
             ) from None
+        except TypeError:
+            raise ValueError(
+                f"policy {spec!r} needs a policy document: pass the parsed "
+                f"JSON dict (or a repro.policy.PolicyDoc) instead of the name"
+            ) from None
+    # deferred import: repro.policy imports this module
+    from ..policy import PolicyDoc
+    from ..policy.sched import TreeSchedulerPolicy
+
+    if isinstance(spec, dict):
+        spec = PolicyDoc.from_obj(spec)
+    if isinstance(spec, PolicyDoc):
+        return TreeSchedulerPolicy(spec)
     raise TypeError(
-        f"policy must be a SchedulerPolicy, a name, or None, got {type(spec)!r}"
+        f"policy must be a SchedulerPolicy, a name, a policy document, "
+        f"or None, got {type(spec)!r}"
     )

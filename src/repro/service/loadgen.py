@@ -93,9 +93,10 @@ def _reference_results(scenarios: list[Scenario]) -> dict[str, dict]:
     for sc in scenarios:
         key = json.dumps(sc.as_dict(), sort_keys=True)
         if key not in refs:
-            # round-trip through JSON: the service's results crossed the
-            # wire, which stringifies int dict keys — compare like for like
-            refs[key] = json.loads(json.dumps(run_scenario(sc).as_dict()))
+            # RuntimeResult.as_dict is canonical (a JSON round-trip is the
+            # identity), so the in-process reference compares directly
+            # against results that crossed the service's wire
+            refs[key] = run_scenario(sc).as_dict()
     return refs
 
 

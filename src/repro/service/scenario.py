@@ -33,8 +33,11 @@ a compatibility promise, like checkpoints):
 ``jobs`` entries are verbatim :meth:`repro.runtime.JobSpec.from_obj`
 documents; ``faults`` is a verbatim
 :meth:`repro.simulate.FaultSchedule.from_obj` document (or the bare event
-list).  Unknown keys anywhere raise :class:`ValueError` — a typo'd knob
-must not silently run with defaults.
+list).  ``policy`` and ``router`` accept either a registry name (as
+above) or an inline :class:`repro.policy.PolicyDoc` document — a tuned
+decision tree travels inside the scenario it was tuned for, so the
+service needs no side channel to run it.  Unknown keys anywhere raise
+:class:`ValueError` — a typo'd knob must not silently run with defaults.
 
 Determinism contract: a scenario fully determines its
 :class:`~repro.runtime.RuntimeResult`.  ``run_scenario`` in-process, a
@@ -45,11 +48,13 @@ from a checkpoint all produce *bit-identical* result dicts — gated in
 
 from __future__ import annotations
 
+import copy
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..networks import TOPOLOGIES
+from ..policy.dsl import PolicyDoc
 from ..runtime import Job, JobSpec, Runtime, RuntimeResult
 from ..runtime.policies import make_policy
 from ..simulate import ENGINES, FaultSchedule
@@ -76,8 +81,10 @@ class Scenario:
     host_args: tuple = ()
     jobs: tuple[JobSpec, ...] = ()
     faults: FaultSchedule | None = None
-    router: str = "deterministic"
-    policy: str | None = None
+    #: registry name, or an inline routing-domain policy document (dict)
+    router: str | dict = "deterministic"
+    #: registry name, or an inline scheduling-domain policy document (dict)
+    policy: str | dict | None = None
     engine: str = "auto"
     max_load: int = 16
     link_capacity: int = 1
@@ -97,7 +104,17 @@ class Scenario:
             )
         if not self.jobs:
             raise ValueError(f"scenario {self.name!r} has no jobs")
-        if self.router not in ROUTERS:
+        # inline documents are validated (and canonicalised) via PolicyDoc
+        # so a malformed tree is rejected at submission, not on a worker
+        if isinstance(self.router, dict):
+            doc = PolicyDoc.from_obj(self.router)
+            if doc.domain != "routing":
+                raise ValueError(
+                    f"scenario router document {doc.name!r} has domain "
+                    f"{doc.domain!r}, expected 'routing'"
+                )
+            object.__setattr__(self, "router", doc.as_dict())
+        elif self.router not in ROUTERS:
             raise ValueError(
                 f"unknown router {self.router!r}: expected one of {sorted(ROUTERS)}"
             )
@@ -105,7 +122,16 @@ class Scenario:
             raise ValueError(
                 f"unknown engine {self.engine!r}: expected one of {ENGINES}"
             )
-        make_policy(self.policy)  # raises on unknown policy names
+        if isinstance(self.policy, dict):
+            doc = PolicyDoc.from_obj(self.policy)
+            if doc.domain != "scheduling":
+                raise ValueError(
+                    f"scenario policy document {doc.name!r} has domain "
+                    f"{doc.domain!r}, expected 'scheduling'"
+                )
+            object.__setattr__(self, "policy", doc.as_dict())
+        else:
+            make_policy(self.policy)  # raises on unknown policy names
         if self.priority < 1:
             raise ValueError(f"priority must be >= 1, got {self.priority}")
         if self.checkpoint_every < 1:
@@ -173,9 +199,9 @@ class Scenario:
         if self.faults is not None:
             d["faults"] = {"events": [e.as_dict() for e in self.faults.events]}
         if self.router != "deterministic":
-            d["router"] = self.router
+            d["router"] = copy.deepcopy(self.router)
         if self.policy is not None:
-            d["policy"] = self.policy
+            d["policy"] = copy.deepcopy(self.policy)
         if self.engine != "auto":
             d["engine"] = self.engine
         if self.max_load != 16:

@@ -96,6 +96,14 @@ class Router:
     def load_state(self, state: dict | None) -> None:
         """Restore what :meth:`state` captured (no-op for stateless)."""
 
+    def spec(self) -> dict:
+        """Constructor recipe + :meth:`state`, for runtime checkpoints.
+
+        The base form covers every stateless deterministic policy; adaptive
+        routers override it with their parameters and learned estimates.
+        """
+        return {"name": "deterministic", "params": {}, "state": None}
+
 
 class ShortestPathRouter(Router):
     """The historical deterministic policy, behind the protocol.
@@ -148,7 +156,12 @@ class AdaptiveRouter(Router):
     chosen a link, it keeps choosing it while its score stays within
     ``hysteresis`` of the momentary best, instead of flip-flopping
     between near-equal candidates every time their EWMAs leapfrog by an
-    epsilon.  ``hysteresis = 0`` restores the old behaviour.  (Measured:
+    epsilon.  Stickiness applies only while *live* signal exists: once
+    every estimate on a decision has decayed to zero, the remembered pick
+    is discarded and the canonical tie-break decides, so a fully cooled
+    router routes exactly like a fresh one (regression-tested: a once-hot
+    link is re-chosen after its congestion drains).
+    ``hysteresis = 0`` restores the old behaviour.  (Measured:
     damping alone does *not* move the E15 spike — that failure mode is
     funnel serialisation, not oscillation — but it stabilises flow
     assignment under chaos churn at no cost.)
@@ -200,6 +213,20 @@ class AdaptiveRouter(Router):
         self._budget.clear()
 
     def end_cycle(self, cycle: int, link_use: dict, queues: dict) -> None:
+        self._observe(link_use, queues)
+        self._cycle_picks.clear()
+
+    def _observe(self, link_use: dict, queues: dict) -> None:
+        """Fold one cycle of engine feedback into the EWMA estimates.
+
+        *Every* previously-seen key decays toward zero on every active
+        cycle — links that went idle and nodes whose queues drained to
+        empty included — so no congestion estimate outlives the traffic
+        that produced it.  A fully cooled, currently idle key is dropped
+        from the table entirely: absent and zero score identically, and
+        the tables stay proportional to *live* congestion, not to
+        everything ever observed.
+        """
         alpha = self.ewma_alpha
         decay = 1.0 - alpha
         for table, current in (
@@ -214,7 +241,6 @@ class AdaptiveRouter(Router):
                     table[key] = cooled
             for key, count in current.items():
                 table[key] = table.get(key, 0.0) + alpha * count
-        self._cycle_picks.clear()
 
     # -- policy ---------------------------------------------------------
     def _score(self, node: Node, v: Node) -> float:
@@ -224,8 +250,12 @@ class AdaptiveRouter(Router):
             + self.queue_weight * self._queue_ewma.get(v, 0.0)
         )
 
+    def _tiebreak_key(self, v: Node) -> int:
+        """Secondary sort key among equal scores (the seeded permutation)."""
+        return self._tiebreak[v]
+
     def _best(self, node: Node, candidates: list[Node]) -> tuple[Node, float]:
-        """Lowest-score candidate; seeded permutation breaks exact ties.
+        """Lowest-score candidate; :meth:`_tiebreak_key` breaks exact ties.
 
         Saturation is deliberately *not* a hard precedence: hard-preferring
         any unsaturated link forces overflow traffic onto historically bad
@@ -235,10 +265,26 @@ class AdaptiveRouter(Router):
         best = None
         best_key = None
         for v in candidates:
-            key = (self._score(node, v), self._tiebreak[v])
+            key = (self._score(node, v), self._tiebreak_key(v))
             if best_key is None or key < best_key:
                 best, best_key = v, key
         return best, best_key[0]
+
+    def _begin_decision(
+        self,
+        node: Node,
+        dst: Node,
+        minimal: list[Node],
+        sideways: list[Node],
+        backwards: list[Node],
+        msg_id: int | None,
+    ) -> None:
+        """Hook: one routing decision starts, candidates classified.
+
+        The base router scores every decision the same way; subclasses
+        (the policy-tree router) re-parameterise scoring per decision from
+        this snapshot before :meth:`_best` runs.
+        """
 
     def next_hop(self, node: Node, dst: Node, msg_id: int | None = None) -> Node:
         net = self.network
@@ -261,12 +307,23 @@ class AdaptiveRouter(Router):
                 sideways.append(v)
             elif dv == here + 1:
                 backwards.append(v)
+        self._begin_decision(node, dst, minimal, sideways, backwards, msg_id)
         hop, score = self._best(node, minimal)
         if self.hysteresis > 0:
             sticky = self._last_pick.get((node, dst))
             if sticky is not None and sticky != hop and sticky in minimal:
-                if self._score(node, sticky) <= score + self.hysteresis:
-                    hop = sticky
+                sticky_score = self._score(node, sticky)
+                # stale-feedback guard: stickiness only damps churn between
+                # *live* near-equal signals.  Once every estimate on this
+                # decision has decayed to zero the remembered pick is pure
+                # history — honouring it would pin a flow to its flee
+                # target forever after the congestion that justified the
+                # detour has drained (the once-hot link would never be
+                # re-chosen).  With no signal, fall back to the canonical
+                # tie-break, which is what a fresh router would do.
+                if sticky_score > 0.0 or score > 0.0:
+                    if sticky_score <= score + self.hysteresis:
+                        hop = sticky
         if msg_id is not None and self.detour_budget > 0:
             remaining = self._budget.get(msg_id, self.detour_budget)
             alt = None
@@ -317,13 +374,32 @@ class AdaptiveRouter(Router):
             (_j2n(u), _j2n(d)): _j2n(v) for u, d, v in state.get("last_pick", [])
         }
 
+    def spec(self) -> dict:
+        return {
+            "name": "adaptive",
+            "params": {
+                "ewma_alpha": self.ewma_alpha,
+                "queue_weight": self.queue_weight,
+                "detour_budget": self.detour_budget,
+                "detour_margin": self.detour_margin,
+                "hysteresis": self.hysteresis,
+                "seed": self.seed,
+            },
+            "state": self.state(),
+        }
 
-#: CLI / config names for the built-in policies
+
+#: CLI / config names for the built-in policies.  ``"tree"`` (the
+#: declarative policy-tree router) registers itself on
+#: ``import repro.policy`` — it cannot be built from a bare name because
+#: it needs a policy document.
 ROUTERS = {"deterministic": ShortestPathRouter, "adaptive": AdaptiveRouter}
 
 
-def make_router(spec: "Router | str | None") -> Router:
-    """Resolve ``None`` / a registry name / a ready instance to a Router."""
+def make_router(spec: "Router | str | dict | None") -> Router:
+    """Resolve ``None`` / a registry name / a ready instance / a policy
+    document (a parsed dict or :class:`repro.policy.PolicyDoc` with
+    ``domain == "routing"``) to a Router."""
     if spec is None:
         return ShortestPathRouter()
     if isinstance(spec, Router):
@@ -335,4 +411,20 @@ def make_router(spec: "Router | str | None") -> Router:
             raise ValueError(
                 f"unknown router {spec!r}: expected one of {sorted(ROUTERS)}"
             ) from None
-    raise TypeError(f"router must be a Router, a name, or None, got {type(spec)!r}")
+        except TypeError:
+            raise ValueError(
+                f"router {spec!r} needs a policy document: pass the parsed "
+                f"JSON dict (or a repro.policy.PolicyDoc) instead of the name"
+            ) from None
+    # deferred import: repro.policy imports this module
+    from ..policy import PolicyDoc
+    from ..policy.route import TreeRouter
+
+    if isinstance(spec, dict):
+        spec = PolicyDoc.from_obj(spec)
+    if isinstance(spec, PolicyDoc):
+        return TreeRouter(spec)
+    raise TypeError(
+        f"router must be a Router, a name, a policy document, or None, "
+        f"got {type(spec)!r}"
+    )

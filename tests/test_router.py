@@ -187,6 +187,61 @@ class TestAdaptiveInvariants:
         assert max(ada_into_hot) <= 2 * -(-len(schedule) // 6)
 
 
+class TestStaleFeedback:
+    """Regression: drained congestion must not pin flows to detours.
+
+    The sticky per-flow pick plus absolute hysteresis used to keep
+    honouring the remembered hop even after every congestion estimate had
+    decayed away — a flow that once fled a hot link never returned to it.
+    Stickiness must only damp churn between *live* near-equal signals.
+    """
+
+    def test_once_hot_node_rechosen_after_draining(self):
+        host = Hypercube(3)
+        net = SynchronousNetwork(host, router=AdaptiveRouter(seed=0))
+        router = net.router
+
+        # cold pick for the 0 -> 3 flow: minimal neighbours are 1 and 2,
+        # and this seed's tie-break permutation prefers 1
+        router.begin_delivery()
+        cold = router.next_hop(0, 3)
+        assert cold == 1
+
+        # hammer the (0, 1) link for a few observed cycles: the flow
+        # flees to the alternative minimal hop
+        for cycle in range(4):
+            router.end_cycle(cycle, {(0, 1): 4}, {})
+        fled = router.next_hop(0, 3)
+        assert fled == 2, "router never reacted to the hot link"
+
+        # drain: idle observed cycles decay every estimate to nothing
+        for cycle in range(4, 40):
+            router.end_cycle(cycle, {}, {})
+        assert not router._link_ewma and not router._cycle_picks
+
+        # with all signal gone a fresh router would pick 1 again; the
+        # sticky memory of the detour must not outlive its justification
+        assert router.next_hop(0, 3) == cold
+
+    def test_hysteresis_still_damps_live_churn(self):
+        # the fix must not disable stickiness while signals are live:
+        # with both minimal links near-equal and warm, the remembered
+        # pick wins even if the other edges ahead by less than the band
+        host = Hypercube(3)
+        net = SynchronousNetwork(host, router=AdaptiveRouter(seed=0))
+        router = net.router
+        router.begin_delivery()
+        assert router.next_hop(0, 3) == 1  # remembered pick is now 1
+        # warm both links equally, then nudge (0, 1) busier by half a
+        # message — ahead of (0, 2), but within the hysteresis band
+        for cycle in range(8):
+            router.end_cycle(cycle, {(0, 1): 1, (0, 2): 1}, {})
+        router.end_cycle(8, {(0, 1): 2, (0, 2): 1}, {})
+        assert router._score(0, 1) > router._score(0, 2)
+        assert router._score(0, 1) <= router._score(0, 2) + router.hysteresis
+        assert router.next_hop(0, 3) == 1, "hysteresis stopped damping churn"
+
+
 class TestAdaptiveFaults:
     def test_reroutes_around_failed_link(self):
         net = SynchronousNetwork(Grid2D(2, 3), router="adaptive")

@@ -170,6 +170,52 @@ class TestScheduling:
                     first_done = done[0].spec.name
         assert first_done == "hi"
 
+    def test_fair_share_picks_least_virtual_time(self):
+        # Regression: the old pick divided lifetime consumed_cycles by the
+        # *current* weight (priority * backlog), retroactively re-pricing
+        # history.  Job A is nearly done: 90 cycles consumed, but mostly
+        # while heavily loaded, so its accrued virtual time is small (1.0).
+        # Job B is a loaded latecomer: 30 cycles over backlog 10 — old key
+        # 30/10 = 3.0 vs A's 90/1 = 90.0, so the old code starved A at the
+        # finish line; the monotone accumulator runs A.
+        import types
+
+        def stub(name, virtual_time, consumed, backlog):
+            return types.SimpleNamespace(
+                spec=types.SimpleNamespace(name=name, priority=1),
+                virtual_time=virtual_time,
+                consumed_cycles=consumed,
+                backlog=backlog,
+            )
+
+        a = stub("a", virtual_time=1.0, consumed=90, backlog=1)
+        b = stub("b", virtual_time=3.0, consumed=30, backlog=10)
+        assert FairSharePolicy().pick([a, b]) is a
+        assert FairSharePolicy().pick([b, a]) is a
+
+    def test_fair_share_virtual_time_is_monotone(self):
+        # incremental accrual can only add non-negative charges — a
+        # draining backlog must never move any job's clock backwards
+        rt = two_job_runtime(policy="fair")
+        last = {j.spec.name: j.virtual_time for j in rt.jobs}
+        while rt.step() is not None:
+            for j in rt.jobs:
+                assert j.virtual_time >= last[j.spec.name], j.spec.name
+                last[j.spec.name] = j.virtual_time
+        assert all(v > 0.0 for v in last.values())
+
+    def test_fair_share_batched_accrual_matches_solo(self):
+        # step_batch merges link-disjoint supersteps into one delivery but
+        # must charge each job at its own pre-superstep weight — the same
+        # accrual the solo path computes
+        solo = two_job_runtime(policy="fair")
+        batched = two_job_runtime(policy="fair")
+        solo.run()
+        while batched.step_batch() not in ([], None):
+            pass
+        for s, b in zip(solo.jobs, batched.jobs):
+            assert s.virtual_time == b.virtual_time, s.spec.name
+
     def test_cycle_budget_terminates_job(self):
         rt = Runtime(XTree(4))
         rt.admit(JobSpec(name="capped", program="prefix_sum", tree_n=12,
