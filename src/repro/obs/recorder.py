@@ -8,8 +8,11 @@ emits two kinds of signals through a :class:`Recorder`:
   (link capacity forced it to wait a cycle), ``delivered`` (it reached its
   destination); fault-tolerant deliveries add ``fault`` (a schedule event
   was applied), ``reroute`` (a queued message's planned next hop died under
-  it) and ``dropped`` (TTL expiry or partition — the message will never be
-  delivered);
+  it) and ``dropped`` (TTL expiry, partition, or integrity-retry
+  exhaustion — the message will never be delivered); byzantine deliveries
+  add ``corrupt`` (a checksum mismatch was caught at the destination),
+  ``retransmit`` (the integrity protocol re-sent a message from source)
+  and ``quarantine`` (a link left or re-entered the route set);
 * **per-cycle samples** — queue occupancy per node, utilisation per
   directed link, and the number of in-flight messages, captured at the end
   of every active cycle.
@@ -67,16 +70,20 @@ class TraceEvent:
     """One lifecycle event of one message (or of the network itself).
 
     ``kind`` is one of ``inject`` / ``hop`` / ``queued`` / ``delivered`` /
-    ``fault`` / ``reroute`` / ``dropped`` / ``repair`` / ``migrate`` /
-    ``batch_fallback`` (the last three are runtime-level: ``node`` holds
-    the job name for ``repair``/``migrate``; ``batch_fallback`` carries
-    the ``";"``-joined reasons in ``detail``).  ``node`` is the location (for
-    ``hop`` the link *source*; ``link_dst`` then holds the other endpoint;
-    for ``fault`` the pair names the affected link or node).  ``detail``
-    carries the fault action (``fail_link``, ...) or the drop reason
-    (``ttl`` / ``partitioned``).  ``fault`` events are network-level and
-    use ``msg_id = -1``.  ``phase`` indexes into the recorder's ``phases``
-    list (supersteps, when driven through ``simulate_on_host``).
+    ``fault`` / ``reroute`` / ``dropped`` / ``corrupt`` / ``retransmit`` /
+    ``quarantine`` / ``repair`` / ``migrate`` / ``batch_fallback`` (the
+    last three are runtime-level: ``node`` holds the job name for
+    ``repair``/``migrate``; ``batch_fallback`` carries the ``";"``-joined
+    reasons in ``detail``).  ``node`` is the location (for ``hop`` the link
+    *source*; ``link_dst`` then holds the other endpoint; for ``fault`` /
+    ``quarantine`` the pair names the affected link or node).  ``detail``
+    carries the fault action (``fail_link``, ...), the drop reason
+    (``ttl`` / ``partitioned`` / ``integrity``), the retransmit attempt
+    (``attempt=N``), or the quarantine transition (``quarantined`` /
+    ``probe_heal``).  ``fault`` and ``quarantine`` events are
+    network-level and use ``msg_id = -1``.  ``phase`` indexes into the
+    recorder's ``phases`` list (supersteps, when driven through
+    ``simulate_on_host``).
     """
 
     cycle: int
@@ -172,7 +179,24 @@ class Recorder:
 
     def on_dropped(self, cycle: int, msg, node, reason: str) -> None:
         """``msg`` was dropped at ``node`` and will never be delivered;
-        ``reason`` is ``"ttl"`` or ``"partitioned"``."""
+        ``reason`` is ``"ttl"``, ``"partitioned"``, or ``"integrity"``
+        (corrupted/lost past the retransmit budget — detected wrong data,
+        not silent loss)."""
+
+    def on_corrupt(self, cycle: int, msg, node) -> None:
+        """``msg`` arrived at its destination ``node`` with a checksum
+        mismatch: the delivery was refused and the integrity protocol
+        will retransmit (or fail it with reason ``"integrity"``)."""
+
+    def on_retransmit(self, cycle: int, msg, attempt: int) -> None:
+        """The integrity protocol scheduled retransmission ``attempt`` of
+        ``msg`` from its source, after exponential backoff."""
+
+    def on_quarantine(self, cycle: int, u, v, transition: str) -> None:
+        """Link ``{u, v}`` changed quarantine state: ``transition`` is
+        ``"quarantined"`` (corruption EWMA crossed the threshold; the link
+        left the route set) or ``"probe_heal"`` (the probe optimistically
+        readmitted it)."""
 
     def on_repair(self, cycle: int, job: str, moved: dict) -> None:
         """The runtime repaired ``job``'s embedding online at global
@@ -223,6 +247,9 @@ class TraceRecorder(Recorder):
         self.n_dropped = 0
         self.n_faults = 0
         self.n_reroutes = 0
+        self.n_corrupted = 0
+        self.n_retransmits = 0
+        self.n_quarantines = 0
         self.n_repairs = 0
         self.n_migrated = 0
         self.n_batch_fallbacks = 0
@@ -298,6 +325,24 @@ class TraceRecorder(Recorder):
         self.n_dropped += 1
         self._record_event(
             TraceEvent(cycle, "dropped", msg.msg_id, node, phase=self._phase, detail=reason)
+        )
+
+    def on_corrupt(self, cycle: int, msg, node) -> None:
+        self.n_corrupted += 1
+        self._record_event(TraceEvent(cycle, "corrupt", msg.msg_id, node, phase=self._phase))
+
+    def on_retransmit(self, cycle: int, msg, attempt: int) -> None:
+        self.n_retransmits += 1
+        self._record_event(
+            TraceEvent(cycle, "retransmit", msg.msg_id, msg.src, phase=self._phase,
+                       detail=f"attempt={attempt}")
+        )
+
+    def on_quarantine(self, cycle: int, u, v, transition: str) -> None:
+        self.n_quarantines += 1
+        self._record_event(
+            TraceEvent(cycle, "quarantine", -1, u, v, phase=self._phase,
+                       detail=transition)
         )
 
     def on_repair(self, cycle: int, job: str, moved: dict) -> None:
@@ -430,6 +475,10 @@ class TraceRecorder(Recorder):
             out["fault_events"] = self.n_faults
             out["reroutes"] = self.n_reroutes
             out["messages_dropped"] = self.n_dropped
+        if self.n_corrupted or self.n_retransmits or self.n_quarantines:
+            out["corrupt_arrivals"] = self.n_corrupted
+            out["retransmits"] = self.n_retransmits
+            out["quarantine_events"] = self.n_quarantines
         if self.n_repairs or self.n_migrated:
             out["repairs"] = self.n_repairs
             out["messages_migrated"] = self.n_migrated

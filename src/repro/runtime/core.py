@@ -152,6 +152,10 @@ def _replay_event(network: SynchronousNetwork, ev: FaultEvent) -> None:
         network.restore_link(ev.u, ev.v)
     elif ev.action == "delay_link":
         network.delay_link(ev.u, ev.v, ev.delay)
+    elif ev.action == "corrupt_link":
+        network.corrupt_link(ev.u, ev.v, ev.rate, ev.seed)
+    elif ev.action == "flaky_link":
+        network.flaky_link(ev.u, ev.v, ev.rate, ev.seed)
     elif ev.action == "fail_node":
         network.fail_node(ev.u)
     else:
@@ -439,6 +443,19 @@ class Runtime:
         self.cycle += stats.cycles
         job.consumed_cycles += stats.cycles
         job.n_reroutes += stats.n_reroutes
+        # integrity accounting is guarded per counter: byzantine-free runs
+        # must keep job states and runtime counters byte-identical to
+        # builds that predate the protocol
+        if stats.n_corrupted:
+            job.n_corrupted += stats.n_corrupted
+            self.counters["integrity.corrupted"] += stats.n_corrupted
+        if stats.n_retransmits:
+            job.n_retransmits += stats.n_retransmits
+            self.counters["integrity.retransmits"] += stats.n_retransmits
+        if stats.n_quarantined:
+            self.counters["integrity.quarantined"] += stats.n_quarantined
+        if stats.n_silent_corruptions:
+            self.counters["integrity.silent"] += stats.n_silent_corruptions
         if stats.faults_applied:
             for ev in stats.faults_applied:
                 self.applied_events.append(ev)
@@ -572,7 +589,7 @@ class Runtime:
         ``phi``.  The recorder is deliberately *not* part of the state —
         a restored runtime starts tracing fresh.
         """
-        return {
+        cp = {
             "version": CHECKPOINT_VERSION,
             "cycle": self.cycle,
             "max_load": self.max_load,
@@ -583,14 +600,44 @@ class Runtime:
             "policy": _policy_spec(self.policy),
             "host": _host_spec(self.host),
             "router": self.network.router.spec(),
-            "faults": (
-                None
-                if self.faults is None
-                else [e.as_dict() for e in self.faults.events]
-            ),
+            "faults": None if self.faults is None else self.faults.to_obj(),
             "applied_events": [e.as_dict() for e in self.applied_events],
             "dead_nodes": [node_to_json(n) for n in sorted(self.dead_nodes)],
             "jobs": [j.state() for j in self._jobs],
+        }
+        integrity = self._integrity_state()
+        if integrity is not None:
+            # only stamped when byzantine link state is live, so byzantine-
+            # free checkpoints stay byte-identical to earlier builds
+            cp["integrity"] = integrity
+        return cp
+
+    def _integrity_state(self) -> dict | None:
+        """JSON-safe snapshot of the network's quarantine/EWMA state.
+
+        Corruption and flaky rates are *not* captured here: they replay
+        exactly from ``applied_events``.  Quarantine membership (with each
+        link's absolute probe-heal cycle) and the corruption EWMA are the
+        two pieces the events cannot reconstruct.  Retransmission backoff
+        state never spans a checkpoint: deliveries are atomic between
+        supersteps, so in-flight retransmits have always resolved by the
+        time a checkpoint can be cut.
+        """
+        net = self.network
+        if not net.quarantined and not net.corruption_ewma:
+            return None
+        index = net.topology.index
+
+        def links(d):
+            rows = sorted(
+                ((sorted(l, key=index), v) for l, v in d.items()),
+                key=lambda kv: (index(kv[0][0]), index(kv[0][1])),
+            )
+            return [[node_to_json(u), node_to_json(v), val] for (u, v), val in rows]
+
+        return {
+            "quarantined": links(net.quarantined),
+            "ewma": links(net.corruption_ewma),
         }
 
     def checkpoint_json(self, path: str | Path) -> None:
@@ -644,9 +691,24 @@ class Runtime:
         )
         rt.counters.update(state.get("counters", {}))
         for entry in state["applied_events"]:
-            ev = FaultSchedule.from_obj([entry]).events[0]
+            # FaultEvent.from_dict, not FaultSchedule.from_obj: replayed
+            # entries are internal state, exempt from the wire-format
+            # version gate a bare byzantine event list would trip
+            ev = FaultEvent.from_dict(entry)
             _replay_event(rt.network, ev)
             rt.applied_events.append(ev)
+        integrity = state.get("integrity")
+        if integrity:
+            # quarantined links re-fail first (fail_link cancels any stale
+            # probe entry), then the probe cycles and EWMA overlay on top
+            for u, v, probe in integrity.get("quarantined", ()):
+                u, v = node_from_json(u), node_from_json(v)
+                if frozenset((u, v)) not in rt.network.failed:
+                    rt.network.fail_link(u, v)
+                rt.network.quarantined[frozenset((u, v))] = probe
+            for u, v, ewma in integrity.get("ewma", ()):
+                link = frozenset((node_from_json(u), node_from_json(v)))
+                rt.network.corruption_ewma[link] = ewma
         rt.network.router.load_state(rspec["state"])
         rt.cycle = state["cycle"]
         rt.dead_nodes = {node_from_json(n) for n in state["dead_nodes"]}

@@ -157,6 +157,12 @@ class Job:
         self.n_reroutes = 0
         self.n_repairs = 0
         self.n_migrated = 0
+        #: corrupted arrivals of this job's messages caught by the
+        #: end-to-end checksum, and the retransmissions they (plus flaky
+        #: drops) triggered — wrong-data-detected accounting, distinct
+        #: from the fail-stop ``failed`` reasons
+        self.n_corrupted = 0
+        self.n_retransmits = 0
 
     # -- scheduling signals --------------------------------------------
     @property
@@ -211,6 +217,8 @@ class Job:
             "n_reroutes": self.n_reroutes,
             "n_repairs": self.n_repairs,
             "n_migrated": self.n_migrated,
+            "n_corrupted": self.n_corrupted,
+            "n_retransmits": self.n_retransmits,
         }
 
     @classmethod
@@ -232,6 +240,9 @@ class Job:
         job.n_reroutes = state["n_reroutes"]
         job.n_repairs = state["n_repairs"]
         job.n_migrated = state["n_migrated"]
+        # .get() keeps pre-integrity-protocol checkpoints readable
+        job.n_corrupted = state.get("n_corrupted", 0)
+        job.n_retransmits = state.get("n_retransmits", 0)
         return job
 
     # -- reporting ------------------------------------------------------
@@ -264,6 +275,8 @@ class Job:
             "n_reroutes": self.n_reroutes,
             "n_repairs": self.n_repairs,
             "n_migrated": self.n_migrated,
+            "n_corrupted": self.n_corrupted,
+            "n_retransmits": self.n_retransmits,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -4,7 +4,7 @@ A thin ``http.server.ThreadingHTTPServer`` — no web framework.  JSON in,
 JSON out; traces stream as JSON Lines.  Routes:
 
 ====== ============================ ==========================================
-POST   ``/v1/jobs``                 body = scenario JSON -> ``{"id": ...}``
+POST   ``/v1/jobs[?id=<id>]``       body = scenario JSON -> ``{"id": ...}``
 GET    ``/v1/jobs``                 all job metadata records
 GET    ``/v1/jobs/<id>``            one job's metadata (status, shard, ...)
 GET    ``/v1/jobs/<id>/scenario``   the submitted document, verbatim
@@ -19,11 +19,19 @@ Error contract: invalid scenario documents are a 400 with the
 :class:`ValueError` text; unknown job ids are 404; a result requested
 before the job is terminal is 409 (retry later) so clients can
 distinguish "not yet" from "never existed".
+
+Submission is idempotent when the client supplies ``?id=<job_id>``: a
+retried POST whose first attempt already reached the fleet replays to
+the same job (200 with the existing id) instead of enqueueing a
+duplicate — what lets :meth:`~repro.service.client.ServiceClient.submit`
+retry a non-idempotent verb safely.
 """
 
 from __future__ import annotations
 
 import json
+import re
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .fleet import Fleet
@@ -40,6 +48,10 @@ class _Server(ThreadingHTTPServer):
 #: refuse request bodies above this size (a scenario document is small;
 #: anything bigger is a client bug, not a workload)
 MAX_BODY = 4 * 1024 * 1024
+
+#: client-supplied job ids become directory names under the store root,
+#: so they must be plain path-safe tokens (no separators, no dotfiles)
+_JOB_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,127}")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -73,7 +85,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ---------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802
-        parts = [p for p in self.path.split("/") if p]
+        path, _, query = self.path.partition("?")
+        parts = [p for p in path.split("/") if p]
         if parts == ["v1", "jobs"]:
             body = self._read_body()
             if body is None:
@@ -82,8 +95,16 @@ class _Handler(BaseHTTPRequestHandler):
                 doc = json.loads(body)
             except json.JSONDecodeError as exc:
                 return self._error(400, f"body is not JSON: {exc}")
+            requested = urllib.parse.parse_qs(query).get("id", [None])[0]
+            if requested is not None and not _JOB_ID_RE.fullmatch(requested):
+                return self._error(400, f"invalid job id: {requested!r}")
+            if requested is not None and self.fleet.store.meta_path(requested).exists():
+                # idempotent replay: the first attempt of a retried
+                # submission already landed, so acknowledge it (200, not
+                # 201 — nothing new was created)
+                return self._json(200, {"id": requested})
             try:
-                job_id = self.fleet.submit_doc(doc)
+                job_id = self.fleet.submit_doc(doc, job_id=requested)
             except (ValueError, TypeError) as exc:
                 return self._error(400, str(exc))
             return self._json(201, {"id": job_id})

@@ -3,14 +3,24 @@
 Mirrors :mod:`repro.service.api` route by route; raises
 :class:`ServiceError` with the server's error text on any non-2xx
 response (except the polling helpers, which treat 409 as "not yet").
+
+Transient connection failures are retried with capped exponential
+backoff plus jitter — for GETs always, and for :meth:`ServiceClient.submit`
+because it sends a client-generated job id as an idempotency key
+(``POST /v1/jobs?id=...``), which makes the retry safe even when the
+first attempt was actually processed before the socket dropped.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import re
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
+import uuid
 
 __all__ = ["ServiceClient", "ServiceError"]
 
@@ -31,17 +41,22 @@ class ServiceClient:
         self.timeout = timeout
 
     # -- plumbing -------------------------------------------------------
-    def _request(self, method: str, path: str, payload: dict | None = None):
-        req = urllib.request.Request(
-            self.base_url + path,
-            method=method,
-            data=None if payload is None else json.dumps(payload).encode(),
-            headers={"Content-Type": "application/json"},
-        )
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 *, idempotent: bool | None = None):
         # transient socket drops under heavy concurrency are retried for
-        # idempotent GETs only; a POST might already have been processed
-        attempts = 3 if method == "GET" else 1
+        # idempotent requests only: every GET, plus POSTs that carry an
+        # idempotency key (submit) — a bare POST might already have been
+        # processed, so it gets exactly one shot
+        if idempotent is None:
+            idempotent = method == "GET"
+        attempts = 5 if idempotent else 1
         for attempt in range(attempts):
+            req = urllib.request.Request(
+                self.base_url + path,
+                method=method,
+                data=None if payload is None else json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
             try:
                 with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                     return resp.read()
@@ -55,7 +70,10 @@ class ServiceClient:
             except (ConnectionError, urllib.error.URLError):
                 if attempt == attempts - 1:
                     raise
-                time.sleep(0.05 * (attempt + 1))
+                # capped exponential backoff; the jitter decorrelates
+                # many clients stampeding a server that just came back
+                delay = min(0.05 * (1 << attempt), 1.0)
+                time.sleep(delay * (0.5 + random.random() * 0.5))
 
     def _get_json(self, path: str) -> dict:
         return json.loads(self._request("GET", path))
@@ -64,9 +82,20 @@ class ServiceClient:
     def healthz(self) -> bool:
         return bool(self._get_json("/v1/healthz").get("ok"))
 
-    def submit(self, scenario_doc: dict) -> str:
-        """Submit one scenario document; returns the assigned job id."""
-        return json.loads(self._request("POST", "/v1/jobs", scenario_doc))["id"]
+    def submit(self, scenario_doc: dict, *, job_id: str | None = None) -> str:
+        """Submit one scenario document; returns the assigned job id.
+
+        The job id is chosen client-side (generated from the scenario
+        name when not supplied) and sent as ``?id=`` — an idempotency key
+        that lets the POST be retried through connection drops: if the
+        first attempt reached the fleet, the retry replays to the same
+        job instead of enqueueing a duplicate.
+        """
+        if job_id is None:
+            name = re.sub(r"[^A-Za-z0-9._-]+", "-", str(scenario_doc.get("name", "job")))
+            job_id = f"{name or 'job'}-{uuid.uuid4().hex[:12]}"
+        path = "/v1/jobs?id=" + urllib.parse.quote(job_id, safe="")
+        return json.loads(self._request("POST", path, scenario_doc, idempotent=True))["id"]
 
     def jobs(self) -> list[dict]:
         return self._get_json("/v1/jobs")["jobs"]
@@ -93,20 +122,43 @@ class ServiceClient:
         return json.loads(self._request("POST", "/v1/recover", {}))["requeued"]
 
     # -- polling helpers ------------------------------------------------
-    def wait(self, job_id: str, *, timeout: float = 60.0, poll: float = 0.05) -> dict:
-        """Poll until the job is terminal; returns its final metadata."""
+    def wait(self, job_id: str, *, timeout: float = 60.0, poll: float = 0.02,
+             poll_cap: float = 0.5) -> dict:
+        """Poll until the job is terminal; returns its final metadata.
+
+        The poll interval starts at ``poll`` and doubles up to
+        ``poll_cap`` — fast jobs return promptly, long jobs don't hammer
+        the server with a fixed-rate poll for minutes.
+        """
         deadline = time.monotonic() + timeout
+        delay = poll
         while True:
             meta = self.job(job_id)
             if meta["status"] in ("done", "failed"):
                 return meta
-            if time.monotonic() > deadline:
+            now = time.monotonic()
+            if now > deadline:
                 raise TimeoutError(
                     f"job {job_id} still {meta['status']} after {timeout}s"
                 )
-            time.sleep(poll)
+            time.sleep(min(delay, max(deadline - now, 0.0)))
+            delay = min(delay * 2, poll_cap)
 
     def wait_result(self, job_id: str, *, timeout: float = 60.0) -> dict:
-        """Wait for completion, then return the result document."""
+        """Wait for completion, then return the result document.
+
+        Honours the API's 409 retry-later contract: metadata can turn
+        terminal an instant before the result document is visible to this
+        client, so a 409 here means "again shortly", not failure.
+        """
+        deadline = time.monotonic() + timeout
         self.wait(job_id, timeout=timeout)
-        return self.result(job_id)
+        delay = 0.02
+        while True:
+            try:
+                return self.result(job_id)
+            except ServiceError as exc:
+                if exc.status != 409 or time.monotonic() > deadline:
+                    raise
+            time.sleep(delay)
+            delay = min(delay * 2, 0.25)

@@ -26,29 +26,16 @@ it, so the next claimant resumes bit-identically.
 from __future__ import annotations
 
 import multiprocessing as mp
-import os
 import threading
 import time
 import uuid
 from pathlib import Path
 
 from .scenario import Scenario
-from .store import JobRecord, Store
+from .store import JobRecord, Store, _pid_alive
 from .worker import worker_main
 
 __all__ = ["Fleet"]
-
-
-def _pid_alive(pid: int | None) -> bool:
-    if pid is None:
-        return False
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:
-        return True
-    return True
 
 
 class Fleet:
@@ -116,10 +103,18 @@ class Fleet:
         return min(weights)[1]
 
     def submit(self, scenario: Scenario, *, job_id: str | None = None) -> str:
-        """Place a validated scenario on the least-loaded shard's queue."""
+        """Place a validated scenario on the least-loaded shard's queue.
+
+        A caller-supplied ``job_id`` acts as an idempotency key: if that
+        job already exists (a client retried a submission whose first
+        attempt did reach us), the existing id is returned and nothing is
+        enqueued twice.
+        """
         if job_id is None:
             job_id = f"{scenario.name}-{uuid.uuid4().hex[:8]}"
         with self._submit_lock:
+            if self.store.meta_path(job_id).exists():
+                return job_id
             shard = self._least_loaded_shard()
             self._seq += 1
             record = JobRecord(

@@ -197,7 +197,9 @@ class Scenario:
         if self.description:
             d["description"] = self.description
         if self.faults is not None:
-            d["faults"] = {"events": [e.as_dict() for e in self.faults.events]}
+            # to_obj stamps the fault-schedule version when byzantine
+            # events are present, so they survive the service wire
+            d["faults"] = self.faults.to_obj()
         if self.router != "deterministic":
             d["router"] = copy.deepcopy(self.router)
         if self.policy is not None:

@@ -32,13 +32,49 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["Store", "JobRecord", "JOB_STATES"]
+__all__ = ["Store", "JobRecord", "JOB_STATES", "DeadWorkerError"]
 
 #: service-level job lifecycle (distinct from runtime job statuses):
 #: ``queued`` -> ``running`` -> ``done`` | ``failed``; a job whose worker
 #: died goes back to ``queued`` (with the checkpoint intact) until a
 #: worker resumes it
 JOB_STATES = ("queued", "running", "done", "failed")
+
+
+def _pid_alive(pid: int | None) -> bool:
+    """Best-effort liveness probe for a worker pid (signal 0)."""
+    if pid is None:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+class DeadWorkerError(RuntimeError):
+    """A waited-on job is ``running`` but its claiming worker is dead.
+
+    Raised by :meth:`Store.wait_terminal` instead of blocking for the
+    full timeout: the job cannot finish until someone calls
+    ``Fleet.recover()``, so waiting is pure latency.  Carries the
+    structured facts a supervisor needs: which job, which shard owned
+    it, the dead pid, and how stale the heartbeat is.
+    """
+
+    def __init__(self, job_id: str, shard: int, worker_pid: int | None,
+                 stale_for: float):
+        super().__init__(
+            f"job {job_id!r} is running on shard {shard} but its worker "
+            f"(pid {worker_pid}) is dead and its heartbeat is "
+            f"{stale_for:.1f}s stale; recover() must requeue it"
+        )
+        self.job_id = job_id
+        self.shard = shard
+        self.worker_pid = worker_pid
+        self.stale_for = stale_for
 
 
 @dataclass
@@ -283,19 +319,37 @@ class Store:
         return total
 
     def wait_terminal(self, job_ids, *, timeout: float = 60.0,
-                      poll: float = 0.05) -> dict[str, str]:
+                      poll: float = 0.05,
+                      stale_after: float | None = 2.0) -> dict[str, str]:
         """Block until every job reaches ``done``/``failed`` (or timeout).
 
         Returns ``{job_id: status}``; raises :class:`TimeoutError` with
         the stragglers' states when the deadline passes.
+
+        Fail-fast: a ``running`` job whose claiming worker pid is dead
+        *and* whose heartbeat (the job dir's mtime — touched by
+        :meth:`heartbeat` and every checkpoint write) has been quiet for
+        ``stale_after`` seconds can only finish after a ``recover()``, so
+        waiting out the timeout is pure latency — it raises
+        :class:`DeadWorkerError` naming the dead shard instead.  Requeued
+        jobs (status ``queued``, pid ``None``) never trip this.  Pass
+        ``stale_after=None`` to wait out the timeout regardless.
         """
         deadline = time.monotonic() + timeout
         ids = list(job_ids)
         states: dict[str, str] = {}
         while True:
-            states = {j: self.read_meta(j).status for j in ids}
+            records = {j: self.read_meta(j) for j in ids}
+            states = {j: r.status for j, r in records.items()}
             if all(s in ("done", "failed") for s in states.values()):
                 return states
+            if stale_after is not None:
+                for j, rec in records.items():
+                    if rec.status != "running" or _pid_alive(rec.worker_pid):
+                        continue
+                    age = time.time() - self.job_dir(j).stat().st_mtime
+                    if age >= stale_after:
+                        raise DeadWorkerError(j, rec.shard, rec.worker_pid, age)
             if time.monotonic() > deadline:
                 raise TimeoutError(
                     f"jobs not terminal after {timeout}s: "

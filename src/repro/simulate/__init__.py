@@ -8,6 +8,11 @@ into measured slowdown of real tree programs.
 from .compute import simulated_prefix, simulated_reduction
 from .engine import (
     ENGINES,
+    INTEGRITY_MAX_RETRIES,
+    QUARANTINE_EWMA_DECAY,
+    QUARANTINE_PROBE_AFTER,
+    QUARANTINE_THRESHOLD,
+    RETRANSMIT_BACKOFF_CAP,
     DeliveryStats,
     Message,
     SynchronousNetwork,
@@ -20,6 +25,8 @@ from .vector_engine import (
     vector_supported,
 )
 from .faults import (
+    BYZANTINE_ACTIONS,
+    FAULT_SCHEDULE_VERSION,
     DegradedResult,
     FaultEvent,
     FaultReport,
@@ -48,6 +55,11 @@ __all__ = [
     "SynchronousNetwork",
     "UnreachableError",
     "ENGINES",
+    "INTEGRITY_MAX_RETRIES",
+    "RETRANSMIT_BACKOFF_CAP",
+    "QUARANTINE_EWMA_DECAY",
+    "QUARANTINE_THRESHOLD",
+    "QUARANTINE_PROBE_AFTER",
     "VECTOR_MAX_NODES",
     "VECTOR_MAX_NODES_ENV",
     "resolve_vector_max_nodes",
@@ -55,6 +67,8 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "FaultReport",
+    "BYZANTINE_ACTIONS",
+    "FAULT_SCHEDULE_VERSION",
     "DegradedResult",
     "RepairError",
     "RepairResult",

@@ -17,9 +17,12 @@ tied flows by recent load instead, seeded so runs stay reproducible.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 from collections.abc import Iterable
+from hashlib import blake2b
 from typing import TYPE_CHECKING, Any, Hashable
 
 from ..networks.base import Topology, bfs_distances_from
@@ -41,6 +44,11 @@ __all__ = [
     "SynchronousNetwork",
     "UnreachableError",
     "ENGINES",
+    "INTEGRITY_MAX_RETRIES",
+    "RETRANSMIT_BACKOFF_CAP",
+    "QUARANTINE_EWMA_DECAY",
+    "QUARANTINE_THRESHOLD",
+    "QUARANTINE_PROBE_AFTER",
 ]
 
 #: delivery engine selectors: ``auto`` dispatches to the vectorised kernel
@@ -48,6 +56,54 @@ __all__ = [
 #: and falls back to the classic loop otherwise; ``classic`` forces the
 #: reference loop; ``vector`` forces the kernel and raises when it cannot run
 ENGINES = ("auto", "classic", "vector")
+
+#: integrity protocol (byzantine link faults, see
+#: :meth:`SynchronousNetwork.corrupt_link`): how many times a message may
+#: be retransmitted before it fails with reason ``"integrity"``
+INTEGRITY_MAX_RETRIES = 6
+#: cap on the exponential retransmit backoff, in cycles (1, 2, 4, ... cap)
+RETRANSMIT_BACKOFF_CAP = 32
+#: per-crossing decay of a link's corruption EWMA (bad crossings add
+#: ``1 - decay``): three consecutive bad crossings from a clean history
+#: push the EWMA over the quarantine threshold
+QUARANTINE_EWMA_DECAY = 0.75
+QUARANTINE_THRESHOLD = 0.5
+#: cycles a quarantined link sits out before its probe heal readmits it
+QUARANTINE_PROBE_AFTER = 24
+
+_TWO64 = float(1 << 64)
+
+
+def _payload_word(m: Message) -> int:
+    """The 64-bit payload word a message carries end-to-end in byzantine
+    mode: a digest of its identity, standing in for the application data a
+    real transport would checksum."""
+    data = repr((m.msg_id, m.src, m.dst, m.payload)).encode(
+        "utf-8", "backslashreplace"
+    )
+    return int.from_bytes(blake2b(data, digest_size=8).digest(), "big")
+
+
+def _checksum(word: int) -> int:
+    """End-to-end checksum over the payload word.
+
+    CRC-32 on purpose: small enough that silent collisions are *possible*,
+    which is exactly what the ``n_silent_corruptions`` ground-truth counter
+    exists to measure (benchmarks gate it at zero on the seeded corpus).
+    """
+    return zlib.crc32(word.to_bytes(8, "big"))
+
+
+def _byz_coin(seed: int, tag: int, a: int, b: int, msg_id: int, crossing: int) -> int:
+    """Stateless 64-bit coin for byzantine outcomes.
+
+    Keyed on (event seed, action tag, canonical link endpoint indices,
+    message id, per-message crossing counter): deterministic under one
+    seed, independent of forwarding order, and free of RNG state that
+    would otherwise have to ride along in checkpoints.
+    """
+    data = struct.pack(">qqqqqq", seed, tag, a, b, msg_id, crossing)
+    return int.from_bytes(blake2b(data, digest_size=8).digest(), "big")
 
 
 class UnreachableError(RuntimeError):
@@ -90,6 +146,18 @@ class DeliveryStats:
     n_reroutes: int = 0
     #: fault-schedule events this delivery actually applied, in order
     faults_applied: list["FaultEvent"] = field(default_factory=list)
+    #: corrupted arrivals caught by the end-to-end checksum; each triggers
+    #: a retransmit from source, or an ``"integrity"`` failure once retries
+    #: exhaust (byzantine mode only — see ``corrupt_link``)
+    n_corrupted: int = 0
+    #: retransmissions the integrity protocol scheduled (corrupt arrivals
+    #: plus flaky-link in-transit drops)
+    n_retransmits: int = 0
+    #: links quarantined out of the route set by the corruption EWMA
+    n_quarantined: int = 0
+    #: corrupted deliveries the checksum FAILED to catch (a CRC collision)
+    #: — ground truth only the simulator can see; benchmarks gate this at 0
+    n_silent_corruptions: int = 0
 
     @property
     def max_link_traffic(self) -> int:
@@ -147,6 +215,15 @@ class SynchronousNetwork:
         self.failed: set[frozenset] = set()
         #: latency faults: link -> extra cycles per crossing (slow, not dead)
         self.link_delays: dict[frozenset, int] = {}
+        #: byzantine faults: link -> (per-crossing corruption rate, seed)
+        self.link_corruption: dict[frozenset, tuple[float, int]] = {}
+        #: byzantine faults: link -> (per-crossing drop rate, seed)
+        self.link_flaky: dict[frozenset, tuple[float, int]] = {}
+        #: links quarantined by the corruption EWMA, mapped to the absolute
+        #: (``fault_offset``-inclusive) cycle their probe heal readmits them
+        self.quarantined: dict[frozenset, int] = {}
+        #: per-link corruption EWMA driving quarantine decisions
+        self.corruption_ewma: dict[frozenset, float] = {}
         self._dist_to: dict[Node, dict[Node, int]] = {}
         #: dense next-hop tables from the DistanceOracle, fetched lazily for
         #: the fault-free classic path; ``False`` marks "topology too large"
@@ -175,6 +252,8 @@ class SynchronousNetwork:
         if v not in set(self.topology.neighbors(u)):
             raise ValueError(f"{u!r} -- {v!r} is not a link of {self.topology.name}")
         self.failed.add(frozenset((u, v)))
+        # an explicit failure outranks a quarantine: cancel the probe heal
+        self.quarantined.pop(frozenset((u, v)), None)
         self._invalidate(u, v, healed=False)
 
     def restore_link(self, u: Node, v: Node) -> None:
@@ -191,15 +270,85 @@ class SynchronousNetwork:
         self._check_not_delivering("heal_link")
         if v not in set(self.topology.neighbors(u)):
             raise ValueError(f"{u!r} -- {v!r} is not a link of {self.topology.name}")
-        # a heal restores full function: any latency fault clears too
-        self.link_delays.pop(frozenset((u, v)), None)
-        if frozenset((u, v)) not in self.failed:
+        # a heal restores full function: latency and byzantine faults clear
+        # too, and a quarantined link is pardoned outright (no probe needed)
+        link = frozenset((u, v))
+        self.link_delays.pop(link, None)
+        self.link_corruption.pop(link, None)
+        self.link_flaky.pop(link, None)
+        self.quarantined.pop(link, None)
+        self.corruption_ewma.pop(link, None)
+        if link not in self.failed:
             return  # already live: nothing changed, keep every warm table
-        self.failed.discard(frozenset((u, v)))
+        self.failed.discard(link)
         self._invalidate(u, v, healed=True)
 
     #: alias: fault-injection scripts read ``fail_link`` / ``heal_link``
     heal_link = restore_link
+
+    def _revive_link(self, u: Node, v: Node) -> None:
+        """Quarantine probe heal: restore *routability* only.
+
+        Unlike :meth:`restore_link` this keeps the link's byzantine state
+        (corruption/flaky rates): the probe optimistically readmits the
+        link to the route set, and if it still corrupts, its EWMA climbs
+        and quarantines it again.
+        """
+        link = frozenset((u, v))
+        if link not in self.failed:
+            return
+        self.failed.discard(link)
+        self._invalidate(u, v, healed=True)
+
+    def corrupt_link(self, u: Node, v: Node, rate: float, seed: int = 0) -> None:
+        """Make the (bidirectional) link *byzantine*: each crossing flips a
+        seeded pattern into the message's payload word with probability
+        ``rate``.
+
+        This is a data-integrity fault, not a failure: the link stays up
+        and routable, distance tables are untouched, and the corruption is
+        only observable through the end-to-end checksum the delivery loop
+        verifies at the destination (see :meth:`deliver_scheduled`).
+        Outcomes are drawn from a stateless hash keyed on
+        ``(seed, link, msg_id, crossing)``, so runs are deterministic and
+        independent of forwarding order.  ``rate=0`` restores honest
+        behaviour; :meth:`heal_link` also clears it.
+        """
+        self._check_not_delivering("corrupt_link")
+        if v not in set(self.topology.neighbors(u)):
+            raise ValueError(f"{u!r} -- {v!r} is not a link of {self.topology.name}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corruption rate must be in [0, 1], got {rate}")
+        link = frozenset((u, v))
+        if rate == 0.0:
+            self.link_corruption.pop(link, None)
+            if link not in self.link_flaky:
+                self.corruption_ewma.pop(link, None)
+        else:
+            self.link_corruption[link] = (rate, seed)
+
+    def flaky_link(self, u: Node, v: Node, rate: float, seed: int = 0) -> None:
+        """Make the (bidirectional) link *flaky*: each crossing silently
+        drops the message in transit with probability ``rate``.
+
+        Like :meth:`corrupt_link` this is byzantine, not fail-stop — the
+        link stays routable and the loss only surfaces through the
+        integrity protocol (an abstracted NACK timeout triggers the same
+        retransmit path as a detected corruption).  ``rate=0`` restores
+        honest behaviour; :meth:`heal_link` also clears it.
+        """
+        self._check_not_delivering("flaky_link")
+        if v not in set(self.topology.neighbors(u)):
+            raise ValueError(f"{u!r} -- {v!r} is not a link of {self.topology.name}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0, 1], got {rate}")
+        link = frozenset((u, v))
+        if rate == 0.0:
+            self.link_flaky.pop(link, None)
+            if link not in self.link_corruption:
+                self.corruption_ewma.pop(link, None)
+        else:
+            self.link_flaky[link] = (rate, seed)
 
     def delay_link(self, u: Node, v: Node, delay: int) -> None:
         """Make the (bidirectional) link slow: every crossing now takes
@@ -293,10 +442,19 @@ class SynchronousNetwork:
                     raise ValueError(
                         f"{ev.u!r} -- {ev.v!r} is not a link of {self.topology.name}"
                     )
+                else:
+                    # failing an already-down link is a no-op, except that
+                    # an explicit fail on a quarantined link cancels its
+                    # probe heal (the failure outranks the quarantine)
+                    self.quarantined.pop(frozenset((ev.u, ev.v)), None)
             elif ev.action == "heal_link":
                 self.restore_link(ev.u, ev.v)
             elif ev.action == "delay_link":
                 self.delay_link(ev.u, ev.v, ev.delay)
+            elif ev.action == "corrupt_link":
+                self.corrupt_link(ev.u, ev.v, ev.rate, ev.seed)
+            elif ev.action == "flaky_link":
+                self.flaky_link(ev.u, ev.v, ev.rate, ev.seed)
             elif ev.action == "fail_node":
                 if not self.topology.has_node(ev.u):
                     raise ValueError(f"{ev.u!r} is not a node of {self.topology.name}")
@@ -505,6 +663,23 @@ class SynchronousNetwork:
           with a structured ``failed`` report — never an infinite loop —
           and whole-network stalls fast-forward the clock to the next
           event instead of spinning through dead cycles.
+        * **byzantine events** (``corrupt_link`` / ``flaky_link``) activate
+          the end-to-end integrity protocol: every routed message carries
+          a checksummed payload word injected at source; a corrupted
+          arrival is never delivered — it is counted
+          (``DeliveryStats.n_corrupted``), NACKed, and retransmitted from
+          source with exponential cycle-backoff (1, 2, 4, ... capped at
+          ``RETRANSMIT_BACKOFF_CAP``), failing with the structured reason
+          ``"integrity"`` after ``INTEGRITY_MAX_RETRIES`` attempts.  A
+          flaky link drops crossings in transit and feeds the same
+          retransmit path.  Links whose corruption EWMA crosses
+          ``QUARANTINE_THRESHOLD`` are quarantined out of the route set
+          (the same incremental invalidation as a link failure) and
+          optimistically probed back in ``QUARANTINE_PROBE_AFTER`` cycles
+          later.  Outcomes are drawn from stateless seeded hashes, so runs
+          are deterministic and checkpoint-free; with no byzantine events
+          scheduled and no byzantine link state, the delivery is
+          bit-identical to the non-byzantine engine.
 
         Without ``faults``/``ttl`` the semantics are exactly historical:
         an unreachable destination raises :class:`UnreachableError`.
@@ -533,7 +708,6 @@ class SynchronousNetwork:
                 )
         router = self.router
         adaptive = router.adaptive
-        fault_mode = faults is not None or ttl is not None
         # events after the offset, in application order; cycle-0 events of
         # an unshifted schedule describe the initial state and still apply
         fev: list = []
@@ -547,6 +721,14 @@ class SynchronousNetwork:
         n_fev = len(fev)
         # latency faults: active on entry, or introduced by a schedule event
         delayed = bool(self.link_delays) or any(e.action == "delay_link" for e in fev)
+        # byzantine faults likewise: state persists across supersteps (the
+        # BSP driver calls this once per superstep) or arrives via events.
+        # They force fault mode — corruption surfaces as retransmissions,
+        # reroutes, and structured "integrity" failures
+        byz = bool(
+            self.link_corruption or self.link_flaky or self.quarantined
+        ) or any(e.action in ("corrupt_link", "flaky_link") for e in fev)
+        fault_mode = faults is not None or ttl is not None or byz
         # messages crossing a slow link, keyed by the cycle they arrive
         in_transit: dict[int, list[tuple[Node, tuple[int, Message]]]] = {}
         stats = DeliveryStats(cycles=0, n_messages=len(schedule))
@@ -557,6 +739,19 @@ class SynchronousNetwork:
         # computed-but-unsent next hop of queued messages (reroute events)
         inject_at: dict[int, int] = {}
         planned: dict[int, tuple[Node, Node, Message]] = {}
+        # integrity protocol (byzantine mode only): the payload word each
+        # routed message currently carries, its pristine value (simulator
+        # ground truth), the checksum injected at source, retransmission
+        # attempts, the per-message byzantine-crossing counter salting the
+        # coins, and the backoff pool of retransmissions keyed by the
+        # cycle they re-enter their source queue
+        word: dict[int, int] = {}
+        orig_word: dict[int, int] = {}
+        checksum: dict[int, int] = {}
+        attempts: dict[int, int] = {}
+        crossings: dict[int, int] = {}
+        retrans: dict[int, list[Message]] = {}
+        to_quarantine: list[frozenset] = []
         seq = 0
         last_self = 0
         seen_ids: set[int] = set()
@@ -576,6 +771,10 @@ class SynchronousNetwork:
                     rec.on_inject(inject, m)
                     rec.on_delivered(inject, m, m.dst)
                 continue
+            if byz:
+                w = _payload_word(m)
+                word[m.msg_id] = orig_word[m.msg_id] = w
+                checksum[m.msg_id] = _checksum(w)
             pending[inject].append((seq, m))
             seq += 1
 
@@ -599,8 +798,35 @@ class SynchronousNetwork:
         link_capacity = self.link_capacity
         link_traffic = stats.link_traffic
         delivery_cycle = stats.delivery_cycle
+        topo_index = self.topology.index
         max_queue = 0
         fast = not fault_mode and not adaptive and rec is None and not delayed
+
+        def _integrity_reject(m: Message, at: Node, cycle: int) -> None:
+            # corrupted at arrival, or dropped in transit by a flaky link:
+            # schedule a pristine retransmission from source after
+            # exponential backoff, or fail the message with reason
+            # "integrity" once retries exhaust — a *detected-wrong-data*
+            # failure, distinct from the fail-stop "ttl"/"partitioned"
+            nonlocal in_network
+            mid = m.msg_id
+            attempt = attempts.get(mid, 0) + 1
+            if attempt > INTEGRITY_MAX_RETRIES:
+                stats.failed[mid] = "integrity"
+                planned.pop(mid, None)
+                in_network -= 1
+                for state in (word, orig_word, checksum, attempts, crossings):
+                    state.pop(mid, None)
+                if rec is not None:
+                    rec.on_dropped(cycle, m, at, "integrity")
+                return
+            attempts[mid] = attempt
+            stats.n_retransmits += 1
+            word[mid] = orig_word[mid]
+            back = min(1 << (attempt - 1), RETRANSMIT_BACKOFF_CAP)
+            retrans.setdefault(cycle + back, []).append(m)
+            if rec is not None:
+                rec.on_retransmit(cycle, m, attempt)
         self._delivering = True
         try:
             while in_network or inj_ptr < n_inj:
@@ -633,6 +859,33 @@ class SynchronousNetwork:
                                 stats.n_reroutes += 1
                                 if rec is not None:
                                     rec.on_reroute(cycle, msg, at)
+                if byz:
+                    if self.quarantined and min(self.quarantined.values()) - fault_offset <= cycle:
+                        # probe heals due at this boundary: optimistically
+                        # readmit the link to the route set (its byzantine
+                        # state is kept — still corrupting means the EWMA
+                        # climbs and it re-quarantines)
+                        due = sorted(
+                            (
+                                l
+                                for l, c in self.quarantined.items()
+                                if c - fault_offset <= cycle
+                            ),
+                            key=lambda l: sorted(map(topo_index, l)),
+                        )
+                        for link in due:
+                            del self.quarantined[link]
+                            u, v = sorted(link, key=topo_index)
+                            self._revive_link(u, v)
+                            if rec is not None:
+                                rec.on_quarantine(cycle, u, v, "probe_heal")
+                    if retrans and min(retrans) <= cycle:
+                        for t in sorted(k for k in retrans if k <= cycle):
+                            for m in retrans.pop(t):
+                                # a retransmitted copy re-enters at the back
+                                # of its source FIFO with a fresh sequence
+                                queues[m.src].append((seq, m))
+                                seq += 1
                 moved_any = False
                 arrivals: dict[Node, list[tuple[int, Message]]] = defaultdict(list)
                 for node in list(queues):
@@ -676,8 +929,9 @@ class SynchronousNetwork:
                                 else:
                                     hop = next_hop(node, m.dst)
                             except UnreachableError:
-                                if fi < n_fev:
-                                    # a future event may reconnect it: wait
+                                if fi < n_fev or self.quarantined:
+                                    # a future event (or a quarantine probe
+                                    # heal) may reconnect it: wait
                                     planned.pop(m.msg_id, None)
                                     kept.append((s, m))
                                     if rec is not None:
@@ -699,6 +953,57 @@ class SynchronousNetwork:
                             link_traffic[key] = link_traffic.get(key, 0) + 1
                             if adaptive:
                                 cycle_links[key] += 1
+                            lost = False
+                            if byz:
+                                link = frozenset(key)
+                                fl = self.link_flaky.get(link)
+                                co = self.link_corruption.get(link)
+                                if fl is not None or co is not None:
+                                    mid = m.msg_id
+                                    k = crossings.get(mid, 0) + 1
+                                    crossings[mid] = k
+                                    a = topo_index(node)
+                                    b = topo_index(hop)
+                                    if a > b:
+                                        a, b = b, a
+                                    bad = False
+                                    if fl is not None and _byz_coin(
+                                        fl[1], 1, a, b, mid, k
+                                    ) < fl[0] * _TWO64:
+                                        # flaky link: the crossing is lost in
+                                        # transit; an abstracted NACK timeout
+                                        # drives the same retransmit path as
+                                        # a detected corruption
+                                        lost = True
+                                        bad = True
+                                    elif co is not None and _byz_coin(
+                                        co[1], 2, a, b, mid, k
+                                    ) < co[0] * _TWO64:
+                                        # corrupting link: XOR a nonzero
+                                        # seeded pattern into the word
+                                        word[mid] ^= _byz_coin(
+                                            co[1], 3, a, b, mid, k
+                                        ) or 1
+                                        bad = True
+                                    ew = QUARANTINE_EWMA_DECAY * self.corruption_ewma.get(
+                                        link, 0.0
+                                    )
+                                    if bad:
+                                        ew += 1.0 - QUARANTINE_EWMA_DECAY
+                                    self.corruption_ewma[link] = ew
+                                    if (
+                                        ew >= QUARANTINE_THRESHOLD
+                                        and link not in to_quarantine
+                                    ):
+                                        to_quarantine.append(link)
+                            if fault_mode:
+                                moved_any = True
+                                planned.pop(m.msg_id, None)
+                            if rec is not None:
+                                rec.on_hop(cycle, m, node, hop)
+                            if lost:
+                                _integrity_reject(m, hop, cycle)
+                                continue
                             d = (
                                 self.link_delays.get(frozenset((node, hop)), 0)
                                 if delayed
@@ -710,11 +1015,6 @@ class SynchronousNetwork:
                                 in_transit.setdefault(cycle + d, []).append((hop, (s, m)))
                             else:
                                 arrivals[hop].append((s, m))
-                            if fault_mode:
-                                moved_any = True
-                                planned.pop(m.msg_id, None)
-                            if rec is not None:
-                                rec.on_hop(cycle, m, node, hop)
                         else:
                             kept.append((s, m))
                             if fault_mode:
@@ -734,6 +1034,32 @@ class SynchronousNetwork:
                 for node, arrived in arrivals.items():
                     for s, m in arrived:
                         if m.dst == node:
+                            if byz:
+                                mid = m.msg_id
+                                w = word.get(mid)
+                                if w is not None:
+                                    if _checksum(w) != checksum[mid]:
+                                        # end-to-end integrity check failed:
+                                        # NACK — never deliver wrong data
+                                        stats.n_corrupted += 1
+                                        if rec is not None:
+                                            rec.on_corrupt(cycle, m, node)
+                                        _integrity_reject(m, node, cycle)
+                                        continue
+                                    if w != orig_word[mid]:
+                                        # corrupted AND the checksum
+                                        # collided: wrong data delivered
+                                        # silently — the ground-truth
+                                        # counter benchmarks gate at zero
+                                        stats.n_silent_corruptions += 1
+                                    for state in (
+                                        word,
+                                        orig_word,
+                                        checksum,
+                                        attempts,
+                                        crossings,
+                                    ):
+                                        state.pop(mid, None)
                             delivery_cycle[m.msg_id] = cycle
                             in_network -= 1
                             if rec is not None:
@@ -744,6 +1070,35 @@ class SynchronousNetwork:
                 for node in arrivals:
                     if queues[node]:
                         queues[node] = deque(sorted(queues[node]))
+                if to_quarantine:
+                    # links whose corruption EWMA crossed the threshold this
+                    # cycle leave the route set at the cycle end — the same
+                    # incremental invalidation as a scheduled link failure —
+                    # and get a probe heal QUARANTINE_PROBE_AFTER cycles out
+                    for link in to_quarantine:
+                        if link in self.failed:
+                            continue
+                        u, v = sorted(link, key=topo_index)
+                        self._applying_fault = True
+                        try:
+                            self.fail_link(u, v)
+                        finally:
+                            self._applying_fault = False
+                        self.quarantined[link] = (
+                            cycle + fault_offset + QUARANTINE_PROBE_AFTER
+                        )
+                        self.corruption_ewma.pop(link, None)
+                        stats.n_quarantined += 1
+                        if rec is not None:
+                            rec.on_quarantine(cycle, u, v, "quarantined")
+                        if planned:
+                            for msg_id, (at, php, msg) in list(planned.items()):
+                                if frozenset((at, php)) == link:
+                                    del planned[msg_id]
+                                    stats.n_reroutes += 1
+                                    if rec is not None:
+                                        rec.on_reroute(cycle, msg, at)
+                    to_quarantine.clear()
                 if rec is not None:
                     rec.on_cycle_end(cycle, queues, in_network)
                 if adaptive:
@@ -764,6 +1119,15 @@ class SynchronousNetwork:
                         # messages on slow links are progress, just late:
                         # jump to the earliest arrival instead of dropping
                         targets.append(min(in_transit) - 1)
+                    if retrans:
+                        # messages backing off before retransmission: jump
+                        # to the earliest re-injection boundary
+                        targets.append(min(retrans) - 1)
+                    if self.quarantined:
+                        # a probe heal can reconnect waiting messages
+                        targets.append(
+                            min(self.quarantined.values()) - fault_offset - 1
+                        )
                     if targets:
                         cycle = max(cycle, min(targets))
                     else:

@@ -16,7 +16,9 @@ declarative side of the story; the cycle-level semantics live in
   failing every incident link.
 * :class:`FaultReport` — the structured outcome of a faulted run: events
   actually applied, per-message failure reasons (``"ttl"`` /
-  ``"partitioned"``), and the reroute count.
+  ``"partitioned"`` / ``"integrity"``), the reroute count, and the
+  integrity-protocol counters (corruptions detected, retransmissions,
+  quarantines) that distinguish *wrong data* from *missing data*.
 * :class:`DegradedResult` — what :func:`~repro.simulate.mapping.simulate_on_host`
   and the compute wrappers return when a fault schedule is supplied: the
   partial result plus the report, instead of an exception or a hang.
@@ -44,6 +46,8 @@ from .._util import node_from_json as _node_from_json
 
 __all__ = [
     "FAULT_ACTIONS",
+    "BYZANTINE_ACTIONS",
+    "FAULT_SCHEDULE_VERSION",
     "FaultEvent",
     "FaultSchedule",
     "FaultReport",
@@ -60,7 +64,28 @@ Node = Hashable
 #: ``delay_link`` is a *latency* fault: the link stays up and routable but
 #: every crossing takes ``1 + delay`` cycles — a slow link, not a dead one
 #: (``delay = 0`` restores full speed; ``heal_link`` also clears a delay).
-FAULT_ACTIONS = ("fail_link", "heal_link", "fail_node", "heal_node", "delay_link")
+#: ``corrupt_link`` / ``flaky_link`` are *byzantine* faults: the link stays
+#: up and routable but each crossing flips the message's payload word
+#: (``corrupt_link``) or silently drops the message in transit
+#: (``flaky_link``) with seeded probability ``rate`` — the engine's
+#: end-to-end integrity protocol (checksum verify, NACK + retransmit with
+#: exponential backoff, EWMA-driven link quarantine) is what turns these
+#: into *detected* failures instead of wrong results (``rate = 0`` restores
+#: honest behaviour; ``heal_link`` also clears byzantine state).
+FAULT_ACTIONS = (
+    "fail_link", "heal_link", "fail_node", "heal_node", "delay_link",
+    "corrupt_link", "flaky_link",
+)
+
+#: the actions that require a version-2 schedule document — a version-1
+#: reader silently treating a corrupting link as healthy would be exactly
+#: the silent-wrong-data failure the protocol exists to prevent
+BYZANTINE_ACTIONS = ("corrupt_link", "flaky_link")
+
+#: current schedule wire-format version.  ``to_obj`` only stamps it when a
+#: byzantine event is present, so legacy schedules keep their historical
+#: byte-for-byte form and old readers keep working on them.
+FAULT_SCHEDULE_VERSION = 2
 
 
 
@@ -81,6 +106,13 @@ class FaultEvent:
     v: Node | None = None
     #: ``delay_link`` only: extra cycles per crossing (0 = back to full speed)
     delay: int | None = None
+    #: ``corrupt_link`` / ``flaky_link`` only: per-crossing corruption/drop
+    #: probability in [0, 1] (0 = back to honest behaviour)
+    rate: float | None = None
+    #: ``corrupt_link`` / ``flaky_link`` only: per-event seed for the
+    #: stateless per-crossing coins (default 0); two events with different
+    #: seeds corrupt different crossings of the same link
+    seed: int | None = None
 
     def __post_init__(self):
         if self.cycle < 0:
@@ -100,6 +132,24 @@ class FaultEvent:
                 )
         elif self.delay is not None:
             raise ValueError(f"{self.action} takes no delay, got delay={self.delay!r}")
+        if self.action in BYZANTINE_ACTIONS:
+            if self.rate is None or not 0.0 <= self.rate <= 1.0:
+                raise ValueError(
+                    f"{self.action} needs a rate probability in [0, 1], "
+                    f"got {self.rate!r}"
+                )
+            if self.seed is not None and not isinstance(self.seed, int):
+                raise ValueError(f"{self.action} seed must be an int, got {self.seed!r}")
+        else:
+            if self.rate is not None:
+                raise ValueError(f"{self.action} takes no rate, got rate={self.rate!r}")
+            if self.seed is not None:
+                raise ValueError(f"{self.action} takes no seed, got seed={self.seed!r}")
+
+    @property
+    def byzantine(self) -> bool:
+        """True for the wrong-data/drop actions that need a v2 schedule."""
+        return self.action in BYZANTINE_ACTIONS
 
     def as_dict(self) -> dict:
         d = {"cycle": self.cycle, "action": self.action, "u": self.u}
@@ -107,7 +157,25 @@ class FaultEvent:
             d["v"] = self.v
         if self.delay is not None:
             d["delay"] = self.delay
+        if self.rate is not None:
+            d["rate"] = self.rate
+        if self.seed is not None:
+            d["seed"] = self.seed
         return d
+
+    @classmethod
+    def from_dict(cls, entry: dict) -> "FaultEvent":
+        """Parse one event entry (no version gating — see
+        :meth:`FaultSchedule.from_obj` for the document-level rules)."""
+        return cls(
+            cycle=entry["cycle"],
+            action=entry["action"],
+            u=_node_from_json(entry["u"]),
+            v=_node_from_json(entry["v"]) if "v" in entry else None,
+            delay=entry.get("delay"),
+            rate=entry.get("rate"),
+            seed=entry.get("seed"),
+        )
 
 
 class FaultSchedule:
@@ -153,19 +221,34 @@ class FaultSchedule:
         Each entry is ``{"cycle": int, "action": str, "u": node, "v": node?}``;
         list-valued node labels become tuples (recursively), matching the
         tuple labels of the grid/X-tree/CCC topologies.
+
+        **Version gating**: byzantine actions (``corrupt_link`` /
+        ``flaky_link``) are only accepted from documents that declare
+        ``"version": 2`` — a bare list or an unversioned/version-1 dict
+        containing them is rejected with the fix in the message.  Legacy
+        documents (any form, legacy actions only) parse unchanged.
         """
-        entries = obj["events"] if isinstance(obj, dict) else obj
-        events = []
-        for entry in entries:
-            events.append(
-                FaultEvent(
-                    cycle=entry["cycle"],
-                    action=entry["action"],
-                    u=_node_from_json(entry["u"]),
-                    v=_node_from_json(entry["v"]) if "v" in entry else None,
-                    delay=entry.get("delay"),
+        if isinstance(obj, dict):
+            version = obj.get("version", 1)
+            if version not in (1, FAULT_SCHEDULE_VERSION):
+                raise ValueError(
+                    f"unsupported fault-schedule version {version!r} "
+                    f"(this build reads 1 and {FAULT_SCHEDULE_VERSION})"
                 )
-            )
+            entries = obj["events"]
+        else:
+            version = 1
+            entries = obj
+        events = [FaultEvent.from_dict(entry) for entry in entries]
+        if version < FAULT_SCHEDULE_VERSION:
+            byz = sorted({e.action for e in events if e.byzantine})
+            if byz:
+                raise ValueError(
+                    f"byzantine fault actions {byz} need a version-"
+                    f"{FAULT_SCHEDULE_VERSION} schedule document: wrap the "
+                    f'events as {{"version": {FAULT_SCHEDULE_VERSION}, '
+                    '"events": [...]}'
+                )
         return cls(events)
 
     @classmethod
@@ -175,8 +258,17 @@ class FaultSchedule:
             return cls.from_obj(json.load(fh))
 
     def to_obj(self) -> dict:
-        """The JSON-serialisable form (tuples become lists on dump)."""
-        return {"events": [e.as_dict() for e in self.events]}
+        """The JSON-serialisable form (tuples become lists on dump).
+
+        Stamps ``"version": 2`` exactly when a byzantine event is present:
+        legacy schedules keep their historical unversioned form (byte-stable
+        files, old readers keep working), while a v2 document makes an old
+        reader fail loudly instead of running a corrupting link as healthy.
+        """
+        doc: dict = {"events": [e.as_dict() for e in self.events]}
+        if any(e.byzantine for e in self.events):
+            return {"version": FAULT_SCHEDULE_VERSION, **doc}
+        return doc
 
     def to_json(self, path: str | Path) -> None:
         with open(path, "w", encoding="utf-8") as fh:
@@ -192,7 +284,10 @@ class FaultSchedule:
     def shifted(self, offset: int) -> "FaultSchedule":
         """The same script, ``offset`` cycles later."""
         return FaultSchedule(
-            [FaultEvent(e.cycle + offset, e.action, e.u, e.v, e.delay) for e in self.events]
+            [
+                FaultEvent(e.cycle + offset, e.action, e.u, e.v, e.delay, e.rate, e.seed)
+                for e in self.events
+            ]
         )
 
     @classmethod
@@ -227,6 +322,34 @@ class FaultSchedule:
         return cls(events)
 
     @classmethod
+    def byzantine_link(
+        cls,
+        u: Node,
+        v: Node,
+        *,
+        corrupt_at: int,
+        rate: float,
+        seed: int = 0,
+        restore_at: int | None = None,
+        flaky: bool = False,
+    ) -> "FaultSchedule":
+        """A byzantine fault on one link: from ``corrupt_at`` on, each
+        crossing flips the payload word (or, with ``flaky=True``, drops the
+        message in transit) with seeded probability ``rate`` — restored to
+        honest behaviour at ``restore_at`` when given.  The link stays up
+        and routable throughout; detection and recovery are the engine's
+        integrity protocol, not the router's."""
+        action = "flaky_link" if flaky else "corrupt_link"
+        events = [FaultEvent(corrupt_at, action, u, v, rate=rate, seed=seed)]
+        if restore_at is not None:
+            if restore_at <= corrupt_at:
+                raise ValueError(
+                    f"restore_at must be after corrupt_at, got {restore_at} <= {corrupt_at}"
+                )
+            events.append(FaultEvent(restore_at, action, u, v, rate=0.0, seed=seed))
+        return cls(events)
+
+    @classmethod
     def chaos(
         cls,
         topology,
@@ -236,10 +359,20 @@ class FaultSchedule:
         seed: int = 0,
         heal_after: int | None = 8,
         node_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        flaky_rate: float = 0.0,
+        byzantine_p: float = 0.25,
     ) -> "FaultSchedule":
         """Seeded random chaos: per cycle, fail a uniform link with
         probability ``link_rate`` (and a uniform node with ``node_rate``),
         healing each failure ``heal_after`` cycles later (``None`` = never).
+
+        ``corrupt_rate`` / ``flaky_rate`` add a byzantine mix: per cycle,
+        with that probability a uniform link starts corrupting (dropping)
+        crossings at per-crossing probability ``byzantine_p``, restored to
+        honest behaviour ``heal_after`` cycles later.  Each byzantine event
+        gets its own rng-drawn coin seed, so the whole mix stays fully
+        deterministic in ``seed``.
 
         Fully deterministic in ``seed``.  Overlapping scripts are legal:
         failing an already-failed link is a no-op, and a heal always
@@ -247,8 +380,13 @@ class FaultSchedule:
         resolve in schedule order (the engine applies events at cycle
         boundaries in sequence).
         """
-        if not 0.0 <= link_rate <= 1.0 or not 0.0 <= node_rate <= 1.0:
-            raise ValueError("fault rates must be probabilities in [0, 1]")
+        for name, p in (
+            ("link_rate", link_rate), ("node_rate", node_rate),
+            ("corrupt_rate", corrupt_rate), ("flaky_rate", flaky_rate),
+            ("byzantine_p", byzantine_p),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1], got {p}")
         if n_cycles < 0:
             raise ValueError(f"n_cycles must be non-negative, got {n_cycles}")
         rng = random.Random(seed)
@@ -266,6 +404,22 @@ class FaultSchedule:
                 events.append(FaultEvent(c, "fail_node", n))
                 if heal_after is not None:
                     events.append(FaultEvent(c + heal_after, "heal_node", n))
+            for action, p_start in (
+                ("corrupt_link", corrupt_rate),
+                ("flaky_link", flaky_rate),
+            ):
+                if p_start and rng.random() < p_start:
+                    u, v = edges[rng.randrange(len(edges))]
+                    coin_seed = rng.randrange(1 << 31)
+                    events.append(
+                        FaultEvent(c, action, u, v, rate=byzantine_p, seed=coin_seed)
+                    )
+                    if heal_after is not None:
+                        events.append(
+                            FaultEvent(
+                                c + heal_after, action, u, v, rate=0.0, seed=coin_seed
+                            )
+                        )
         return cls(events)
 
 
@@ -277,10 +431,12 @@ class FaultReport:
     """Structured outcome of one faulted run.
 
     ``failed`` maps message keys to the drop reason — ``"ttl"`` (hop/cycle
-    budget exhausted) or ``"partitioned"`` (destination unreachable with no
-    heal event left that could reconnect it).  Keys are engine ``msg_id``\\ s;
-    the compute wrappers, whose ids restart per superstep, use
-    ``(superstep, msg_id)`` tuples.
+    budget exhausted), ``"partitioned"`` (destination unreachable with no
+    heal event left that could reconnect it) or ``"integrity"`` (every
+    retransmission attempt of a corrupted/dropped payload was exhausted —
+    *wrong data detected*, as opposed to the other two reasons' *missing
+    data*).  Keys are engine ``msg_id``\\ s; the compute wrappers, whose ids
+    restart per superstep, use ``(superstep, msg_id)`` tuples.
     """
 
     n_messages: int = 0
@@ -288,18 +444,38 @@ class FaultReport:
     applied: tuple[FaultEvent, ...] = ()
     failed: dict[Any, str] = field(default_factory=dict)
     n_reroutes: int = 0
+    #: deliveries rejected by the end-to-end checksum (each one triggered a
+    #: NACK + retransmission from source, or an ``"integrity"`` failure)
+    n_corrupted: int = 0
+    #: source retransmissions the integrity protocol scheduled
+    n_retransmits: int = 0
+    #: links the engine quarantined after their corruption EWMA crossed the
+    #: threshold (removed from the route set until a probe heals them)
+    n_quarantined: int = 0
 
     @property
     def complete(self) -> bool:
         """True when every routed message was delivered despite the faults."""
         return not self.failed
 
+    @property
+    def n_wrong_data(self) -> int:
+        """Messages whose payload arrived *wrong* (detected, retries
+        exhausted) — the byzantine failure class, distinct from missing."""
+        return sum(1 for r in self.failed.values() if r == "integrity")
+
+    @property
+    def n_missing(self) -> int:
+        """Messages that went *missing* (TTL expiry or partition) — the
+        fail-stop failure class."""
+        return sum(1 for r in self.failed.values() if r in ("ttl", "partitioned"))
+
     def reasons(self) -> Counter:
         """Failure-reason histogram, e.g. ``{"partitioned": 3, "ttl": 1}``."""
         return Counter(self.failed.values())
 
     def summary(self) -> dict:
-        return {
+        out = {
             "n_messages": self.n_messages,
             "n_delivered": self.n_delivered,
             "n_failed": len(self.failed),
@@ -307,11 +483,24 @@ class FaultReport:
             "n_reroutes": self.n_reroutes,
             "failure_reasons": dict(self.reasons()),
         }
+        if self.n_corrupted or self.n_retransmits or self.n_quarantined:
+            out["n_corrupted"] = self.n_corrupted
+            out["n_retransmits"] = self.n_retransmits
+            out["n_quarantined"] = self.n_quarantined
+            out["n_wrong_data"] = self.n_wrong_data
+            out["n_missing"] = self.n_missing
+        return out
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         reasons = ", ".join(f"{k}: {v}" for k, v in sorted(self.reasons().items()))
+        byz = (
+            f", {self.n_corrupted} corrupted/{self.n_retransmits} retransmits"
+            f"/{self.n_quarantined} quarantined"
+            if self.n_corrupted or self.n_retransmits or self.n_quarantined
+            else ""
+        )
         return (
-            f"faults: {len(self.applied)} events applied, {self.n_reroutes} reroutes; "
+            f"faults: {len(self.applied)} events applied, {self.n_reroutes} reroutes{byz}; "
             f"{self.n_delivered}/{self.n_messages} messages delivered"
             + (f", {len(self.failed)} failed ({reasons})" if self.failed else "")
         )

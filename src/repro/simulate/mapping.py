@@ -31,6 +31,9 @@ def _fold_report(report: FaultReport, stats: DeliveryStats, key=lambda mid: mid)
     report.n_delivered += len(stats.delivery_cycle)
     report.applied = (*report.applied, *stats.faults_applied)
     report.n_reroutes += stats.n_reroutes
+    report.n_corrupted += stats.n_corrupted
+    report.n_retransmits += stats.n_retransmits
+    report.n_quarantined += stats.n_quarantined
     for mid, reason in stats.failed.items():
         report.failed[key(mid)] = reason
 

@@ -116,6 +116,12 @@ def vector_supported(network: "SynchronousNetwork", rec, faults, ttl) -> str | N
         blockers.append("links are failed")
     if network.link_delays:
         blockers.append("links are slowed")
+    if network.link_corruption:
+        blockers.append("links are corrupting")
+    if network.link_flaky:
+        blockers.append("links are flaky")
+    if network.quarantined:
+        blockers.append("links are quarantined")
     limit = network.vector_max_nodes
     if network.topology.n_nodes > limit:
         blockers.append(
