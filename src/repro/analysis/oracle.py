@@ -28,6 +28,7 @@ benchmark harness) share CSR builds and row caches for free.
 
 from __future__ import annotations
 
+import os
 import weakref
 from collections import OrderedDict
 from collections.abc import Iterable
@@ -40,9 +41,44 @@ from ..networks.binary_tree_net import CompleteBinaryTreeNet
 from ..obs import counter_inc, span
 from ..networks.grid import Grid2D
 from ..networks.hypercube import Hypercube
+from ..networks.universal import UNIVERSAL_SLOTS, UniversalGraph
 from ..networks.xtree import XTree
 
-__all__ = ["DistanceOracle", "oracle_for"]
+__all__ = [
+    "DistanceOracle",
+    "ORACLE_CACHE_ENV",
+    "ORACLE_CACHE_ROWS",
+    "oracle_for",
+    "resolve_oracle_cache",
+]
+
+#: default LRU row-cache capacity (one-to-all rows held per oracle)
+ORACLE_CACHE_ROWS = 256
+
+#: environment override for the row-cache capacity — resolved at oracle
+#: construction, so exported once it governs every oracle that did not
+#: pass an explicit ``row_cache_size``
+ORACLE_CACHE_ENV = "REPRO_ORACLE_CACHE"
+
+
+def resolve_oracle_cache(override: int | None = None) -> int:
+    """The effective row-cache capacity: explicit override > env > default."""
+    if override is not None:
+        if override < 1:
+            raise ValueError(f"row cache size must be >= 1, got {override}")
+        return override
+    raw = os.environ.get(ORACLE_CACHE_ENV)
+    if raw is not None:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{ORACLE_CACHE_ENV}={raw!r} is not an integer"
+            ) from None
+        if value < 1:
+            raise ValueError(f"{ORACLE_CACHE_ENV} must be >= 1, got {value}")
+        return value
+    return ORACLE_CACHE_ROWS
 
 
 def _heap_split(idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -96,9 +132,8 @@ class DistanceOracle:
     (``Topology.index``); label-level conveniences convert at the edge.
     """
 
-    def __init__(self, topology: Topology, row_cache_size: int = 256):
-        if row_cache_size < 1:
-            raise ValueError(f"row cache size must be >= 1, got {row_cache_size}")
+    def __init__(self, topology: Topology, row_cache_size: int | None = None):
+        row_cache_size = resolve_oracle_cache(row_cache_size)
         self.topology = topology
         self.n = topology.n_nodes
         self._labels: list[Any] = list(topology.nodes())
@@ -118,6 +153,8 @@ class DistanceOracle:
         #: and memoised alongside the row cache (one per oracle lifetime)
         self._next_hop: np.ndarray | None = None
         self._next_hop_edge: np.ndarray | None = None
+        #: quotient all-pairs matrix for UniversalGraph hosts, memoised
+        self._universal_quotient: np.ndarray | None = None
         #: lifetime row-cache hit/miss counts (also mirrored into the
         #: process-wide ``repro.obs`` counters ``oracle.row_cache.*``)
         self.row_cache_hits = 0
@@ -277,6 +314,21 @@ class DistanceOracle:
             return (np.abs(ra - rb) + np.abs(ca - cb)).astype(np.int32)
         if isinstance(t, CompleteBinaryTreeNet):
             return _cbt_pairs(ai, bi).astype(np.int32)
+        if isinstance(t, UniversalGraph):
+            # Theorem 4's G_n: slots of one address are pairwise adjacent
+            # and related slot groups are fully connected, so distance is
+            # the quotient (address-graph) distance for distinct
+            # addresses, 1 for same-address distinct slots, 0 otherwise.
+            if self._universal_quotient is None:
+                self._universal_quotient = np.asarray(
+                    t.quotient_all_pairs(), dtype=np.int32
+                )
+            qa, qb = ai // UNIVERSAL_SLOTS, bi // UNIVERSAL_SLOTS
+            return np.where(
+                qa == qb,
+                (ai != bi).astype(np.int32),
+                self._universal_quotient[qa, qb],
+            )
         return None
 
     def _pairs_by_rows(self, ai: np.ndarray, bi: np.ndarray) -> np.ndarray:

@@ -53,6 +53,7 @@ from .core.verification import (
 )
 from .core.xtree_embed import theorem1_embedding
 from .networks.xtree import addr_to_string
+from .separators import SEPARATORS as SEPARATOR_NAMES
 from .simulate import ENGINES, PROGRAMS, ROUTERS, simulate_on_guest, simulate_on_host
 from .trees.binary_tree import theorem1_guest_size
 from .trees.generators import FAMILIES, make_tree
@@ -73,9 +74,12 @@ def _make_tree(args) -> tuple[int, object]:
 
 def _cmd_embed(args) -> int:
     n, tree = _make_tree(args)
-    result = theorem1_embedding(tree, validate=args.validate)
+    result = theorem1_embedding(
+        tree, validate=args.validate, separator=args.separator
+    )
     rep = result.embedding.report()
-    print(f"guest: {args.family} tree, n={n}; host: X({args.height})")
+    print(f"guest: {args.family} tree, n={n}; host: X({args.height}); "
+          f"separator {args.separator}")
     print(rep)
     extras = {
         k: v for k, v in result.stats.as_dict().items() if v and k != "max_pieces_per_leaf"
@@ -146,7 +150,7 @@ def _cmd_simulate(args) -> int:
         router_label = f"tree:{doc.name}"
 
     n, tree = _make_tree(args)
-    result = theorem1_embedding(tree)
+    result = theorem1_embedding(tree, separator=args.separator)
     faults = None
     if args.faults:
         from .simulate import FaultSchedule
@@ -286,12 +290,29 @@ def _cmd_runtime(args) -> int:
         print(f"admitted {len(rt.jobs)} jobs on {host.name} "
               f"(policy {rt.policy.name}, max load {rt.max_load})")
 
-    steps = 0
+    admissions = []
+    for entry in args.admit_at or ():
+        cycle_s, _, spec_path = entry.partition(",")
+        try:
+            cycle = int(cycle_s)
+            if cycle < 0:
+                raise ValueError(f"cycle must be >= 0, got {cycle}")
+            spec = JobSpec.from_obj(json.loads(Path(spec_path).read_text()))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: bad --admit-at {entry!r}: {exc}", file=sys.stderr)
+            return 1
+        admissions.append((cycle, spec))
+
+    from .service.scenario import drive_runtime
+
     try:
-        while (rt.step_batch() if args.batch else rt.step()) not in ([], None):
-            steps += 1
-            if ckpt is not None and steps % args.checkpoint_every == 0:
-                rt.checkpoint_json(ckpt)
+        res = drive_runtime(
+            rt,
+            batch=args.batch,
+            checkpoint_path=ckpt,
+            checkpoint_every=args.checkpoint_every,
+            admissions=admissions,
+        )
     except RepairError as exc:
         print(f"error: online repair failed: {exc}", file=sys.stderr)
         if ckpt is not None:
@@ -299,9 +320,7 @@ def _cmd_runtime(args) -> int:
             print(f"wrote checkpoint: {ckpt}", file=sys.stderr)
         return 1
     if ckpt is not None:
-        rt.checkpoint_json(ckpt)
         print(f"wrote checkpoint: {ckpt}")
-    res = rt.result()
     print(res)
     if not res.complete:
         # mirror `simulate`'s fault report: name every job that did not
@@ -566,6 +585,12 @@ def main(argv: list[str] | None = None) -> int:
     _add_tree_args(p_embed)
     p_embed.add_argument("--validate", action="store_true", help="check invariants every round")
     p_embed.add_argument("--show-placement", action="store_true", help="dump the full mapping")
+    p_embed.add_argument(
+        "--separator", choices=sorted(SEPARATOR_NAMES), default="paper",
+        help="tree-piece splitter: 'paper' is Lemma 2 (bit-identical to "
+             "the default), 'flow' is the max-flow/min-cut engine "
+             "(repro.separators)",
+    )
     p_embed.set_defaults(func=_cmd_embed)
 
     p_verify = sub.add_parser("verify", help="check every paper claim")
@@ -598,6 +623,12 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument("--policy", metavar="FILE",
                        help="routing-domain policy document (repro.policy JSON, "
                             "e.g. written by `tune`); overrides --router")
+    p_sim.add_argument(
+        "--separator", choices=sorted(SEPARATOR_NAMES), default="paper",
+        help="tree-piece splitter for the embedding: 'paper' is Lemma 2 "
+             "(bit-identical to the default), 'flow' is the max-flow/"
+             "min-cut engine (repro.separators)",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_rt = sub.add_parser(
@@ -637,6 +668,10 @@ def main(argv: list[str] | None = None) -> int:
                            "whether it replaces the config's router (routing) or "
                            "scheduler (scheduling); ignored when resuming from a "
                            "checkpoint, which already carries its policies")
+    p_rt.add_argument("--admit-at", action="append", metavar="CYCLE,SPEC.json",
+                      help="admit the JobSpec in SPEC.json once the runtime "
+                           "clock reaches CYCLE (repeatable; admitted "
+                           "immediately if the runtime drains first)")
     p_rt.set_defaults(func=_cmd_runtime)
 
     p_tune = sub.add_parser(

@@ -1,17 +1,10 @@
-"""Theorem 4: a degree-415 universal graph for binary trees.
+"""Theorem 4: embedding binary trees into the degree-415 universal graph.
 
-For ``n = 2**t - 16`` (equivalently ``16 * (2**(r+1) - 1)`` with
-``r = t - 5``) the universal graph ``G_n`` has one vertex per (X-tree
-vertex, slot) pair — ``16`` slots per vertex of X(r) — and connects two
-vertices whenever their X-tree components are equal or related through the
-Figure 2 neighbourhood ``N``:
-
-    (alpha, j) ~ (beta, k)   iff   alpha == beta and j != k,
-                                    or beta in N(alpha), or alpha in N(beta).
-
-Degree bound: ``|N(alpha) - {alpha}| <= 20`` plus at most 5 asymmetric
-in-neighbours gives ``25 * 16`` cross edges plus ``15`` within the slot
-group = **415** (paper: ``25 * 16 + 15 = 415``).
+The graph itself lives in :mod:`repro.networks.universal` (it is a host
+topology like any other — registered in ``TOPOLOGIES``, routable by the
+engines, understood by the oracle); this module keeps the *embedding*
+half: running the Theorem 1 construction on X(t-5) and lifting it onto
+``G_n``'s slot groups.
 
 A Theorem 1 embedding satisfying the paper's condition (3') maps every
 guest edge onto a ``G_n`` edge, making every n-node binary tree a spanning
@@ -27,10 +20,12 @@ within distance 3, at a measured (slightly larger) degree.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
-
-from ..networks.base import Topology
-from ..networks.xtree import XAddr, XTree
+from ..networks.universal import (
+    UNIVERSAL_SLOTS as _SLOTS,
+    UniversalGraph,
+    universal_graph_size,
+)
+from ..networks.xtree import XAddr
 from ..trees.binary_tree import BinaryTree
 from .embedding import Embedding
 from .xtree_embed import XTreeEmbeddingResult, theorem1_embedding
@@ -40,126 +35,42 @@ __all__ = [
     "universal_graph_size",
     "embed_into_universal",
     "embed_into_universal_padded",
+    "lift_onto_slots",
     "spanning_defect",
     "universal_supergraph",
 ]
 
-_SLOTS = 16
 
+def lift_onto_slots(
+    embedding: Embedding, graph: UniversalGraph
+) -> Embedding:
+    """Lift an X(t-5) embedding onto ``G_n`` by slot-assigning cohabitants.
 
-def universal_graph_size(t: int) -> int:
-    """Number of vertices of G_n for parameter ``t``: ``2**t - 16``."""
-    if t < 5:
-        raise ValueError(f"need t >= 5 so that 2**t - 16 >= 16, got {t}")
-    return (1 << t) - 16
-
-
-class UniversalGraph(Topology):
-    """The Theorem 4 graph ``G_n`` on ``(XAddr, slot)`` pairs.
-
-    ``mode="paper"`` (default) uses the N(alpha) relation and has degree at
-    most 415; ``mode="radius"`` connects slot groups of X-tree vertices
-    within distance ``radius`` (default 3) — a slightly larger, provably
-    spanning variant for measured embeddings.
+    Each X-tree vertex hosts at most 16 guests; they take slots
+    ``0..load-1`` of that vertex's slot group in guest-node order.  The
+    lift preserves injectivity per slot and, because slot groups of
+    related vertices are fully connected, maps every dilation-1 guest
+    edge whose endpoints sit on N-related (or equal) addresses onto a
+    ``G_n`` edge.
     """
-
-    name = "universal"
-
-    def __init__(self, t: int, mode: str = "paper", radius: int = 3):
-        if t < 5:
-            raise ValueError(f"need t >= 5, got {t}")
-        if mode not in ("paper", "radius"):
-            raise ValueError(f"mode must be 'paper' or 'radius', got {mode!r}")
-        self.t = t
-        self.mode = mode
-        self.radius = radius
-        self.height = t - 5
-        self.xtree = XTree(self.height)
-        self._n = _SLOTS * self.xtree.n_nodes
-        assert self._n == universal_graph_size(t)
-        self._related: dict[XAddr, frozenset[XAddr]] = {}
-
-    # ------------------------------------------------------------------
-    def related(self, alpha: XAddr) -> frozenset[XAddr]:
-        """X-tree vertices whose slot groups are fully connected to
-        ``alpha``'s (excluding ``alpha`` itself); cached."""
-        got = self._related.get(alpha)
-        if got is not None:
-            return got
-        if self.mode == "paper":
-            rel = set(self.xtree.condition_neighborhood(alpha))
-            rel |= self.xtree.asymmetric_in_neighbors(alpha)
-            rel.discard(alpha)
-        else:
-            dist = {alpha: 0}
-            frontier = [alpha]
-            for d in range(self.radius):
-                nxt = []
-                for v in frontier:
-                    for u in self.xtree.neighbors(v):
-                        if u not in dist:
-                            dist[u] = d + 1
-                            nxt.append(u)
-                frontier = nxt
-            rel = set(dist) - {alpha}
-        out = frozenset(rel)
-        self._related[alpha] = out
-        return out
-
-    # ------------------------------------------------------------------
-    # Topology interface
-    # ------------------------------------------------------------------
-    @property
-    def n_nodes(self) -> int:
-        return self._n
-
-    def nodes(self) -> Iterator[tuple[XAddr, int]]:
-        for v in self.xtree.nodes():
-            for k in range(_SLOTS):
-                yield (v, k)
-
-    def neighbors(self, node: tuple[XAddr, int]) -> Iterator[tuple[XAddr, int]]:
-        alpha, j = node
-        self._check(node)
-        for k in range(_SLOTS):
-            if k != j:
-                yield (alpha, k)
-        for beta in self.related(alpha):
-            for k in range(_SLOTS):
-                yield (beta, k)
-
-    def index(self, node: tuple[XAddr, int]) -> int:
-        alpha, j = node
-        self._check(node)
-        return self.xtree.index(alpha) * _SLOTS + j
-
-    def node_at(self, idx: int) -> tuple[XAddr, int]:
-        if not 0 <= idx < self._n:
-            raise IndexError(f"index {idx} out of range")
-        q, k = divmod(idx, _SLOTS)
-        return (self.xtree.node_at(q), k)
-
-    def _check(self, node: tuple[XAddr, int]) -> None:
-        alpha, j = node
-        if not 0 <= j < _SLOTS:
-            raise ValueError(f"slot {j} out of range")
-        self.xtree._check(alpha)
-
-    def max_degree(self) -> int:
-        return max(
-            len(self.related(v)) * _SLOTS + (_SLOTS - 1) for v in self.xtree.nodes()
-        )
-
-    def has_edge(self, a: tuple[XAddr, int], b: tuple[XAddr, int]) -> bool:
-        """Adjacency test without enumerating neighbours."""
-        (alpha, j), (beta, k) = a, b
-        if alpha == beta:
-            return j != k
-        return beta in self.related(alpha)
+    counter: dict[XAddr, int] = {}
+    phi: dict[int, tuple[XAddr, int]] = {}
+    for v in sorted(embedding.phi):
+        addr = embedding.phi[v]
+        mu = counter.get(addr, 0)
+        if mu >= _SLOTS:
+            raise ValueError(
+                f"X-tree vertex {addr} hosts more than {_SLOTS} guests; "
+                f"cannot lift onto G_n slot groups"
+            )
+        counter[addr] = mu + 1
+        phi[v] = (addr, mu)
+    return Embedding(embedding.guest, graph, phi)
 
 
 def embed_into_universal(
-    tree: BinaryTree, graph: UniversalGraph, *, validate: bool = False
+    tree: BinaryTree, graph: UniversalGraph, *, validate: bool = False,
+    separator=None,
 ) -> tuple[Embedding, XTreeEmbeddingResult]:
     """Map ``tree`` (``n = 2**t - 16`` nodes) injectively onto ``graph``.
 
@@ -170,15 +81,8 @@ def embed_into_universal(
     """
     if tree.n != graph.n_nodes:
         raise ValueError(f"tree has {tree.n} nodes; G_n has {graph.n_nodes}")
-    result = theorem1_embedding(tree, validate=validate)
-    counter: dict[XAddr, int] = {}
-    phi: dict[int, tuple[XAddr, int]] = {}
-    for v in tree.nodes():
-        addr = result.embedding.phi[v]
-        mu = counter.get(addr, 0)
-        counter[addr] = mu + 1
-        phi[v] = (addr, mu)
-    return Embedding(tree, graph, phi), result
+    result = theorem1_embedding(tree, validate=validate, separator=separator)
+    return lift_onto_slots(result.embedding, graph), result
 
 
 def universal_supergraph(n: int) -> UniversalGraph:

@@ -120,7 +120,8 @@ class XTreeEmbeddingResult:
 
 
 def theorem1_embedding(
-    tree: BinaryTree, *, validate: bool = False, config: EmbedConfig | None = None
+    tree: BinaryTree, *, validate: bool = False, config: EmbedConfig | None = None,
+    separator=None,
 ) -> XTreeEmbeddingResult:
     """The Theorem 1 statement: ``n = 16 * (2**(r+1) - 1)`` required.
 
@@ -136,7 +137,9 @@ def theorem1_embedding(
             f"(nearest valid sizes: {theorem1_guest_size(max(r - 1, 0))}, "
             f"{theorem1_guest_size(r)})"
         )
-    return embed_binary_tree(tree, height=r, validate=validate, config=config)
+    return embed_binary_tree(
+        tree, height=r, validate=validate, config=config, separator=separator
+    )
 
 
 def embed_binary_tree(
@@ -146,6 +149,7 @@ def embed_binary_tree(
     capacity: int = 16,
     validate: bool = False,
     config: EmbedConfig | None = None,
+    separator=None,
 ) -> XTreeEmbeddingResult:
     """Embed ``tree`` into an X-tree with load factor at most ``capacity``.
 
@@ -154,9 +158,18 @@ def embed_binary_tree(
     with a filler chain (see :meth:`BinaryTree.padded_to`); the returned
     embedding covers the padded tree, whose first ``tree.n`` nodes are the
     original guest.
+
+    ``separator`` selects the split strategy for the ADJUST/SPLIT phases:
+    ``None`` (the built-in Lemma 2 call), a registry name (``"paper"``,
+    ``"flow"``), or a :class:`repro.separators.Separator` instance.
+    ``None`` and ``"paper"`` produce bit-identical embeddings.
     """
     if capacity < 2:
         raise ValueError(f"capacity must be at least 2, got {capacity}")
+    if separator is not None:
+        from ..separators import make_separator
+
+        separator = make_separator(separator)
     if height is None:
         height = 0
         while capacity * xtree_size(height) < tree.n:
@@ -168,7 +181,10 @@ def embed_binary_tree(
         )
     if tree.n < total:
         tree = tree.padded_to(total)
-    embedder = _XTreeEmbedder(tree, height, capacity, validate, config or EmbedConfig())
+    embedder = _XTreeEmbedder(
+        tree, height, capacity, validate, config or EmbedConfig(),
+        separator=separator,
+    )
     return embedder.run()
 
 
@@ -182,8 +198,10 @@ class _XTreeEmbedder:
         capacity: int,
         validate: bool,
         config: EmbedConfig | None = None,
+        separator=None,
     ):
         self.config = config or EmbedConfig()
+        self.separator = separator
         self.tree = tree
         self.r = r
         self.capacity = capacity
@@ -331,7 +349,12 @@ class _XTreeEmbedder:
             return
         r1 = piece.designated[0]
         r2 = piece.designated[-1]
-        sep = lemma2_split(self.tree, r1, r2, delta, universe=piece.nodes)
+        if self.separator is None:
+            sep = lemma2_split(self.tree, r1, r2, delta, universe=piece.nodes)
+        else:
+            sep = self.separator.split(
+                self.tree, r1, r2, delta, universe=piece.nodes
+            )
         state.stats.separator_promotions += sep.n_promotions
         need_stay = len(sep.s1)
         need_move = len(sep.s2)

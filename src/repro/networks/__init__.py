@@ -13,6 +13,7 @@ from .ccc import CubeConnectedCycles
 from .grid import Grid2D
 from .hypercube import Hypercube, hamming_distance
 from .shuffle import DeBruijn, ShuffleExchange
+from .universal import UniversalGraph, universal_graph_size
 from .xtree import (
     XAddr,
     XTree,
@@ -36,6 +37,7 @@ TOPOLOGIES: dict[str, type[Topology]] = {
         Butterfly,
         ShuffleExchange,
         DeBruijn,
+        UniversalGraph,
     )
 }
 
@@ -55,6 +57,9 @@ def registry_instances(scale: int = 3) -> dict[str, Topology]:
         "butterfly": Butterfly(scale),
         "shuffle-exchange": ShuffleExchange(scale + 1),
         "debruijn": DeBruijn(scale + 1),
+        # t = scale + 4 keeps the sweep instance small (scale 3 -> 112
+        # vertices) while still exercising several slot groups
+        "universal": UniversalGraph(scale + 4),
     }
 
 
@@ -76,6 +81,8 @@ __all__ = [
     "Grid2D",
     "ShuffleExchange",
     "DeBruijn",
+    "UniversalGraph",
+    "universal_graph_size",
     "TOPOLOGIES",
     "registry_instances",
 ]

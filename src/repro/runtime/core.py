@@ -120,7 +120,9 @@ class RuntimeResult:
 
 def _host_spec(host) -> dict:
     """Constructor recipe for a registered topology (for checkpoints)."""
-    if hasattr(host, "rows"):
+    if hasattr(host, "spec_args"):
+        args = list(host.spec_args)
+    elif hasattr(host, "rows"):
         args = [host.rows, host.cols]
     elif hasattr(host, "height"):
         args = [host.height]

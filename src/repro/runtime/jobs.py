@@ -16,7 +16,9 @@ from typing import Any
 
 from .._util import node_from_json, node_to_json
 from ..core.embedding import Embedding
+from ..core.universal import lift_onto_slots
 from ..core.xtree_embed import embed_binary_tree
+from ..networks.universal import UNIVERSAL_SLOTS, UniversalGraph
 from ..simulate.programs import PROGRAMS
 from ..trees import make_tree
 
@@ -114,9 +116,28 @@ class Job:
         self.spec = spec
         if embedding is None:
             tree = make_tree(spec.tree_family, spec.tree_n, seed=spec.tree_seed)
-            embedding = embed_binary_tree(
-                tree, height=spec.height, capacity=spec.capacity
-            ).embedding
+            if isinstance(host, UniversalGraph):
+                # Theorem 4 host: embed into the underlying X(t-5) with
+                # Theorem 1, then fan the per-vertex load out onto the 16
+                # slots — one guest per G_n vertex (load 1 by construction)
+                if spec.height not in (None, host.height):
+                    raise ValueError(
+                        f"job {spec.name!r} requests height {spec.height} but "
+                        f"the universal host quotients through X({host.height})"
+                    )
+                if spec.capacity > UNIVERSAL_SLOTS:
+                    raise ValueError(
+                        f"capacity {spec.capacity} exceeds the universal "
+                        f"host's {UNIVERSAL_SLOTS} slots per X-tree vertex"
+                    )
+                result = embed_binary_tree(
+                    tree, height=host.height, capacity=spec.capacity
+                )
+                embedding = lift_onto_slots(result.embedding, host)
+            else:
+                embedding = embed_binary_tree(
+                    tree, height=spec.height, capacity=spec.capacity
+                ).embedding
         # ``embedding``/``program`` short-circuit the construction when the
         # caller already holds the spec's Theorem 1 embedding and program
         # (repeat-timing benchmarks; they must match what the spec builds)

@@ -5,6 +5,7 @@ JSON out; traces stream as JSON Lines.  Routes:
 
 ====== ============================ ==========================================
 POST   ``/v1/jobs[?id=<id>]``       body = scenario JSON -> ``{"id": ...}``
+POST   ``/v1/jobs/<id>/admit``      body = ``{"cycle", "spec"}`` mid-run arrival
 GET    ``/v1/jobs``                 all job metadata records
 GET    ``/v1/jobs/<id>``            one job's metadata (status, shard, ...)
 GET    ``/v1/jobs/<id>/scenario``   the submitted document, verbatim
@@ -34,6 +35,7 @@ import re
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..runtime import JobSpec
 from .fleet import Fleet
 
 __all__ = ["ApiServer", "serve"]
@@ -108,9 +110,46 @@ class _Handler(BaseHTTPRequestHandler):
             except (ValueError, TypeError) as exc:
                 return self._error(400, str(exc))
             return self._json(201, {"id": job_id})
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "admit":
+            return self._post_admit(parts[2])
         if parts == ["v1", "recover"]:
             return self._json(200, {"requeued": self.fleet.recover()})
         self._error(404, f"no such route: POST {self.path}")
+
+    def _post_admit(self, job_id: str) -> None:
+        """``POST /v1/jobs/<id>/admit`` — queue one mid-run arrival.
+
+        Body: ``{"cycle": C, "spec": <JobSpec document>}``.  The worker
+        driving the scenario polls the store and admits the spec before
+        the first superstep at or after cycle ``C`` (immediately, when
+        the runtime is already past it or idle).
+        """
+        store = self.fleet.store
+        if not store.meta_path(job_id).exists():
+            return self._error(404, f"no such job: {job_id}")
+        rec = store.read_meta(job_id)
+        if rec.status in ("done", "failed"):
+            return self._error(
+                409, f"job {job_id} is {rec.status}; cannot admit into it"
+            )
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError as exc:
+            return self._error(400, f"body is not JSON: {exc}")
+        if not isinstance(doc, dict) or "cycle" not in doc or "spec" not in doc:
+            return self._error(400, 'admission body must be {"cycle": ..., "spec": ...}')
+        try:
+            cycle = int(doc["cycle"])
+            if cycle < 0:
+                raise ValueError(f"cycle must be >= 0, got {cycle}")
+            JobSpec.from_obj(doc["spec"])  # validate before persisting
+        except (ValueError, TypeError) as exc:
+            return self._error(400, str(exc))
+        name = store.write_admission(job_id, cycle, doc["spec"])
+        return self._json(201, {"admission": name})
 
     def do_GET(self) -> None:  # noqa: N802
         parts = [p for p in self.path.split("/") if p]

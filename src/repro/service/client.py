@@ -97,6 +97,15 @@ class ServiceClient:
         path = "/v1/jobs?id=" + urllib.parse.quote(job_id, safe="")
         return json.loads(self._request("POST", path, scenario_doc, idempotent=True))["id"]
 
+    def admit(self, job_id: str, cycle: int, spec_doc: dict) -> str:
+        """Queue a mid-run arrival: admit ``spec_doc`` into the running
+        scenario ``job_id`` at (or after) runtime cycle ``cycle``.
+        Returns the admission file name recorded by the store."""
+        body = {"cycle": cycle, "spec": spec_doc}
+        return json.loads(
+            self._request("POST", f"/v1/jobs/{job_id}/admit", body)
+        )["admission"]
+
     def jobs(self) -> list[dict]:
         return self._get_json("/v1/jobs")["jobs"]
 

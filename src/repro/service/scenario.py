@@ -55,7 +55,7 @@ from pathlib import Path
 
 from ..networks import TOPOLOGIES
 from ..policy.dsl import PolicyDoc
-from ..runtime import Job, JobSpec, Runtime, RuntimeResult
+from ..runtime import AdmissionError, Job, JobSpec, Runtime, RuntimeResult
 from ..runtime.policies import make_policy
 from ..simulate import ENGINES, FaultSchedule
 from ..simulate.routing import ROUTERS
@@ -257,6 +257,50 @@ def _atomic_checkpoint(rt: Runtime, path: Path) -> None:
     tmp.replace(path)
 
 
+def _normalise_admissions(entries) -> list[tuple[int, JobSpec]]:
+    """``(cycle, spec-or-dict)`` pairs into sorted ``(cycle, JobSpec)``."""
+    out = []
+    for cycle, spec in entries or ():
+        if not isinstance(spec, JobSpec):
+            spec = JobSpec.from_obj(spec)
+        out.append((int(cycle), spec))
+    out.sort(key=lambda e: (e[0], e[1].name))
+    return out
+
+
+def _admit_due(
+    rt: Runtime,
+    pending: list[tuple[int, JobSpec]],
+    attempted: set[str],
+    *,
+    up_to: int | None = None,
+) -> list[tuple[int, JobSpec]]:
+    """Admit every pending spec whose cycle has arrived; return the rest.
+
+    Specs whose job name is already in the runtime are skipped silently —
+    that makes replayed admissions idempotent across a crash/resume (the
+    admitted job travels in the checkpoint).  An over-load admission
+    counts ``admit.rejected`` and is dropped; a successful one counts
+    ``admit.live``.
+    """
+    cutoff = rt.cycle if up_to is None else max(rt.cycle, up_to)
+    keep: list[tuple[int, JobSpec]] = []
+    for cycle, spec in pending:
+        if cycle > cutoff:
+            keep.append((cycle, spec))
+            continue
+        attempted.add(spec.name)
+        if any(j.spec.name == spec.name for j in rt.jobs):
+            continue
+        try:
+            rt.admit(spec)
+        except AdmissionError:
+            rt.counters["admit.rejected"] += 1
+        else:
+            rt.counters["admit.live"] += 1
+    return keep
+
+
 def drive_runtime(
     rt: Runtime,
     *,
@@ -264,6 +308,8 @@ def drive_runtime(
     checkpoint_path: str | Path | None = None,
     checkpoint_every: int = 10,
     heartbeat=None,
+    admissions=None,
+    admission_poll=None,
 ) -> RuntimeResult:
     """Step ``rt`` to a terminal state with periodic atomic checkpoints.
 
@@ -272,16 +318,49 @@ def drive_runtime(
     all drive runtimes through it, so there is exactly one behaviour to
     trust for the bit-identity gates.  ``heartbeat`` (if given) is called
     once per checkpoint interval so a supervisor can see liveness.
+
+    ``admissions`` is a list of ``(cycle, JobSpec-or-dict)`` arrivals to
+    admit mid-run: each is admitted before the first superstep at or
+    after its cycle.  When every resident job drains before an arrival's
+    cycle, the arrival is admitted immediately (the runtime clock only
+    advances by running work, so waiting would deadlock).
+    ``admission_poll`` (if given) re-reads the authoritative arrival list
+    once per checkpoint interval and at idle — the worker points it at
+    the job store so ``POST /v1/jobs/<id>/admit`` lands mid-run.  Specs
+    already admitted or already attempted are skipped, which keeps
+    replayed admissions idempotent across crash/resume.
     """
     path = None if checkpoint_path is None else Path(checkpoint_path)
+    attempted: set[str] = set()
+    pending = _normalise_admissions(admissions)
+
+    def _poll() -> None:
+        nonlocal pending
+        if admission_poll is not None:
+            pending = [
+                (c, s)
+                for c, s in _normalise_admissions(admission_poll())
+                if s.name not in attempted
+                and not any(j.spec.name == s.name for j in rt.jobs)
+            ]
+
     steps = 0
-    while (rt.step_batch() if batch else rt.step()) not in ([], None):
-        steps += 1
-        if steps % checkpoint_every == 0:
-            if path is not None:
-                _atomic_checkpoint(rt, path)
-            if heartbeat is not None:
-                heartbeat()
+    while True:
+        pending = _admit_due(rt, pending, attempted)
+        if (rt.step_batch() if batch else rt.step()) not in ([], None):
+            steps += 1
+            if steps % checkpoint_every == 0:
+                if path is not None:
+                    _atomic_checkpoint(rt, path)
+                if heartbeat is not None:
+                    heartbeat()
+                _poll()
+            continue
+        _poll()
+        if not pending:
+            break
+        # idle with future arrivals: admit the earliest batch now
+        pending = _admit_due(rt, pending, attempted, up_to=pending[0][0])
     if path is not None:
         _atomic_checkpoint(rt, path)
     return rt.result()

@@ -157,6 +157,9 @@ class Store:
     def trace_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / "trace.jsonl"
 
+    def admissions_dir(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "admissions"
+
     def stop_path(self) -> Path:
         return self.root / "stop"
 
@@ -302,6 +305,37 @@ class Store:
         if not path.exists():
             return None
         return json.loads(path.read_text())
+
+    # -- live admissions ------------------------------------------------
+    def write_admission(self, job_id: str, cycle: int, spec_doc: dict) -> str:
+        """Persist one mid-run arrival: admit ``spec_doc`` at ``cycle``.
+
+        Files are numbered so :meth:`read_admissions` replays them in
+        submission order; the atomic write means a worker polling the
+        directory never sees a half-written arrival.
+        """
+        d = self.admissions_dir(job_id)
+        d.mkdir(parents=True, exist_ok=True)
+        seq = len(list(d.glob("admit-*.json")))
+        while (d / f"admit-{seq:04d}.json").exists():
+            seq += 1
+        name = f"admit-{seq:04d}.json"
+        _atomic_write(
+            d / name,
+            json.dumps({"cycle": int(cycle), "spec": spec_doc}, indent=2) + "\n",
+        )
+        return name
+
+    def read_admissions(self, job_id: str) -> list[tuple[int, dict]]:
+        """Every persisted arrival for ``job_id``, in submission order."""
+        d = self.admissions_dir(job_id)
+        if not d.is_dir():
+            return []
+        out = []
+        for path in sorted(d.glob("admit-*.json")):
+            doc = json.loads(path.read_text())
+            out.append((int(doc["cycle"]), doc["spec"]))
+        return out
 
     def list_jobs(self) -> list[str]:
         return sorted(p.name for p in self.jobs_dir.iterdir() if p.is_dir())

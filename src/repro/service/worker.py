@@ -52,6 +52,8 @@ def run_one_job(store: Store, shard: int, job_id: str) -> None:
                 checkpoint_path=ckpt,
                 checkpoint_every=scenario.checkpoint_every,
                 heartbeat=lambda: store.heartbeat(job_id),
+                admissions=store.read_admissions(job_id),
+                admission_poll=lambda: store.read_admissions(job_id),
             )
         finally:
             if recorder is not None:

@@ -1,0 +1,79 @@
+"""The ``online`` command and the online-vs-offline load-bound parity."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core.online import replay_online
+from repro.core.xtree_embed import embed_binary_tree
+from repro.trees import make_tree
+
+from strategies import binary_trees
+
+
+class TestOnlineCommand:
+    def test_exit_zero_and_table(self, capsys):
+        assert main(["online", "--height", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "offline (Theorem 1)" in out
+        assert "online greedy" in out
+        assert "repack migrations" in out
+        # no --compare: the migration column stays unfilled
+        online_row = next(
+            line for line in out.splitlines() if "online greedy" in line
+        )
+        assert online_row.rstrip().endswith("|") and "| - " in online_row
+
+    def test_compare_fills_migrations(self, capsys):
+        assert main(["online", "--height", "3", "--compare"]) == 0
+        out = capsys.readouterr().out
+        online_row = next(
+            line for line in out.splitlines() if "online greedy" in line
+        )
+        cells = [c.strip() for c in online_row.split("|") if c.strip()]
+        assert cells[-1].isdigit()  # a concrete repack cost, not "-"
+
+    def test_families_and_seeds(self, capsys):
+        for family in ("path", "caterpillar"):
+            assert main(
+                ["online", "--height", "3", "--family", family, "--seed", "1"]
+            ) == 0
+            assert "online greedy" in capsys.readouterr().out
+
+
+class TestOnlineOfflineParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        binary_trees(min_nodes=2, max_nodes=100),
+        st.integers(min_value=2, max_value=16),
+    )
+    def test_load_bounds_agree(self, tree, capacity):
+        """Both strategies respect the same capacity bound whenever the
+        guest fits the host at all — the property the --compare table
+        relies on being comparable."""
+        height = 0
+        while capacity * (2 ** (height + 1) - 1) < tree.n:
+            height += 1
+        online = replay_online(
+            tree, height, capacity=capacity,
+            reserve=min(2, capacity - 1), compare_offline=True,
+        )
+        offline = embed_binary_tree(tree, height=height, capacity=capacity)
+        load = {}
+        for slot in online.embedding.phi.values():
+            load[slot] = load.get(slot, 0) + 1
+        assert max(load.values()) <= capacity
+        assert offline.embedding.load_factor() <= 16
+        assert online.migration_cost is not None
+        assert 0 <= online.migration_cost <= tree.n
+
+    def test_replay_rejects_overfull_guest(self):
+        tree = make_tree("random", 50, seed=0)
+        try:
+            replay_online(tree, 1, capacity=4)
+        except ValueError as exc:
+            assert "cannot fit" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
